@@ -1,0 +1,437 @@
+//! A Morton-ordered linear BVH — the ArborX analog used by all clustering
+//! analyses.
+//!
+//! Construction sorts particles along a 30-bit Morton curve and builds a
+//! balanced binary hierarchy over the sorted order (median splits), with
+//! bounding boxes refitted bottom-up. Queries are stack-based radius
+//! searches. This matches the construction/traversal split of GPU BVHs
+//! (ArborX/Karras) while staying simple enough to verify exhaustively.
+
+use hacc_tree::Aabb;
+use rayon::prelude::*;
+
+/// Expand a 10-bit integer to every third bit position.
+#[inline]
+fn expand_bits(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x3FF;
+    x = (x | (x << 16)) & 0x030000FF;
+    x = (x | (x << 8)) & 0x0300F00F;
+    x = (x | (x << 4)) & 0x030C30C3;
+    x = (x | (x << 2)) & 0x09249249;
+    x
+}
+
+/// 30-bit Morton code of a point normalized to the unit cube.
+#[inline]
+pub fn morton3(p: &[f64; 3], lo: &[f64; 3], inv_extent: &[f64; 3]) -> u64 {
+    let mut code = 0u64;
+    for d in 0..3 {
+        let x = ((p[d] - lo[d]) * inv_extent[d]).clamp(0.0, 1.0 - 1e-12);
+        let q = (x * 1024.0) as u32;
+        code |= expand_bits(q) << (2 - d);
+    }
+    code
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    aabb: Aabb,
+    /// Leaf: range into the sorted index array; internal: child ids.
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { start: u32, count: u32 },
+    Internal { left: u32, right: u32 },
+}
+
+/// The linear BVH over a point set.
+#[derive(Debug, Clone)]
+pub struct Lbvh {
+    nodes: Vec<Node>,
+    /// Sorted particle indices.
+    order: Vec<u32>,
+    points: Vec<[f64; 3]>,
+    root: u32,
+}
+
+const LEAF_SIZE: usize = 16;
+
+impl Lbvh {
+    /// Build from points (copied internally; queries return indices into
+    /// the original slice).
+    pub fn build(points: &[[f64; 3]]) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return Self {
+                nodes: vec![],
+                order: vec![],
+                points: vec![],
+                root: 0,
+            };
+        }
+        // Bounding box of the set.
+        let mut bounds = Aabb::empty();
+        for p in points {
+            bounds.expand(p);
+        }
+        let mut inv = [0.0f64; 3];
+        for d in 0..3 {
+            let e = (bounds.hi[d] - bounds.lo[d]).max(1e-300);
+            inv[d] = 1.0 / e;
+        }
+        // Morton sort.
+        let mut keyed: Vec<(u64, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (morton3(p, &bounds.lo, &inv), i as u32))
+            .collect();
+        keyed.par_sort_unstable_by_key(|&(k, _)| k);
+        let order: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+
+        let mut nodes = Vec::with_capacity(2 * n / LEAF_SIZE + 2);
+        let root = Self::build_range(&mut nodes, points, &order, 0, n);
+        Self {
+            nodes,
+            order,
+            points: points.to_vec(),
+            root,
+        }
+    }
+
+    fn build_range(
+        nodes: &mut Vec<Node>,
+        points: &[[f64; 3]],
+        order: &[u32],
+        start: usize,
+        end: usize,
+    ) -> u32 {
+        if end - start <= LEAF_SIZE {
+            let mut aabb = Aabb::empty();
+            for &i in &order[start..end] {
+                aabb.expand(&points[i as usize]);
+            }
+            nodes.push(Node {
+                aabb,
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    count: (end - start) as u32,
+                },
+            });
+            return (nodes.len() - 1) as u32;
+        }
+        let mid = (start + end) / 2;
+        let left = Self::build_range(nodes, points, order, start, mid);
+        let right = Self::build_range(nodes, points, order, mid, end);
+        let mut aabb = nodes[left as usize].aabb;
+        aabb.union(&nodes[right as usize].aabb);
+        nodes.push(Node {
+            aabb,
+            kind: NodeKind::Internal { left, right },
+        });
+        (nodes.len() - 1) as u32
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Collect the indices of all points within `radius` of `center`
+    /// (inclusive), in arbitrary order.
+    pub fn query_radius(&self, center: &[f64; 3], radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_radius_into(center, radius, &mut out);
+        out
+    }
+
+    /// The `k` nearest neighbors of `center` (including any point at the
+    /// center itself), as `(index, distance²)` pairs sorted by distance.
+    /// Returns fewer when the set is smaller than `k`.
+    pub fn query_knn(&self, center: &[f64; 3], k: usize) -> Vec<(u32, f64)> {
+        if self.nodes.is_empty() || k == 0 {
+            return vec![];
+        }
+        // Whole-set queries (distance-ordered scans): sort once instead
+        // of maintaining a bounded candidate list.
+        if k >= self.len() {
+            let mut all: Vec<(u32, f64)> = self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    (
+                        i as u32,
+                        (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>(),
+                    )
+                })
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            return all;
+        }
+        // Best-first traversal with a bounded max-heap of candidates.
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1); // max at [0]
+        let push = |heap: &mut Vec<(f64, u32)>, d2: f64, i: u32, k: usize| {
+            if heap.len() < k {
+                heap.push((d2, i));
+                heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            } else if d2 < heap[0].0 {
+                heap[0] = (d2, i);
+                heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            }
+        };
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            let bound = if heap.len() == k {
+                heap[0].0
+            } else {
+                f64::INFINITY
+            };
+            if node.aabb.min_dist_sqr_point(center) > bound {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    for &i in &self.order[start as usize..(start + count) as usize] {
+                        let p = &self.points[i as usize];
+                        let d2: f64 =
+                            (0..3).map(|d| (p[d] - center[d]).powi(2)).sum();
+                        push(&mut heap, d2, i, k);
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    // Visit the nearer child last (popped first).
+                    let dl = self.nodes[left as usize].aabb.min_dist_sqr_point(center);
+                    let dr = self.nodes[right as usize].aabb.min_dist_sqr_point(center);
+                    if dl < dr {
+                        stack.push(right);
+                        stack.push(left);
+                    } else {
+                        stack.push(left);
+                        stack.push(right);
+                    }
+                }
+            }
+        }
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap.into_iter().map(|(d2, i)| (i, d2)).collect()
+    }
+
+    /// Count (rather than collect) the points within `radius` of
+    /// `center` — the primitive behind pair-counting statistics.
+    pub fn count_radius(&self, center: &[f64; 3], radius: f64) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let r2 = radius * radius;
+        let mut count = 0;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if node.aabb.min_dist_sqr_point(center) > r2 {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count: c } => {
+                    for &i in &self.order[start as usize..(start + c) as usize] {
+                        let p = &self.points[i as usize];
+                        let d2: f64 =
+                            (0..3).map(|d| (p[d] - center[d]).powi(2)).sum();
+                        if d2 <= r2 {
+                            count += 1;
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        count
+    }
+
+    /// As [`Self::query_radius`], reusing an output buffer (cleared).
+    pub fn query_radius_into(&self, center: &[f64; 3], radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.nodes.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if node.aabb.min_dist_sqr_point(center) > r2 {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    for &i in &self.order[start as usize..(start + count) as usize] {
+                        let p = &self.points[i as usize];
+                        let d2: f64 = (0..3).map(|d| (p[d] - center[d]).powi(2)).sum();
+                        if d2 <= r2 {
+                            out.push(i);
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ]
+            })
+            .collect()
+    }
+
+    fn brute(points: &[[f64; 3]], c: &[f64; 3], r: f64) -> Vec<u32> {
+        let r2 = r * r;
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                (0..3).map(|d| (p[d] - c[d]).powi(2)).sum::<f64>() <= r2
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = cloud(500, 3);
+        let bvh = Lbvh::build(&pts);
+        for (i, c) in cloud(20, 4).iter().enumerate() {
+            let r = 0.5 + (i as f64) * 0.1;
+            let mut got = bvh.query_radius(c, r);
+            got.sort_unstable();
+            assert_eq!(got, brute(&pts, c, r), "center {c:?} r {r}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let bvh = Lbvh::build(&[]);
+        assert!(bvh.query_radius(&[0.0; 3], 1.0).is_empty());
+        let bvh = Lbvh::build(&[[1.0, 2.0, 3.0]]);
+        assert_eq!(bvh.query_radius(&[1.0, 2.0, 3.0], 0.1), vec![0]);
+        assert!(bvh.query_radius(&[5.0, 5.0, 5.0], 0.1).is_empty());
+    }
+
+    #[test]
+    fn radius_boundary_inclusive() {
+        let pts = vec![[0.0; 3], [1.0, 0.0, 0.0]];
+        let bvh = Lbvh::build(&pts);
+        let mut got = bvh.query_radius(&[0.0; 3], 1.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let pts = vec![[2.0; 3]; 100];
+        let bvh = Lbvh::build(&pts);
+        assert_eq!(bvh.query_radius(&[2.0; 3], 0.01).len(), 100);
+    }
+
+    #[test]
+    fn morton_orders_close_points_together() {
+        // Points in the same octant share high Morton bits.
+        let lo = [0.0; 3];
+        let inv = [1.0; 3];
+        let a = morton3(&[0.1, 0.1, 0.1], &lo, &inv);
+        let b = morton3(&[0.12, 0.11, 0.09], &lo, &inv);
+        let c = morton3(&[0.9, 0.9, 0.9], &lo, &inv);
+        // Shared-prefix length with a is longer for b than for c.
+        let pa_b = (a ^ b).leading_zeros();
+        let pa_c = (a ^ c).leading_zeros();
+        assert!(pa_b > pa_c);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = cloud(300, 11);
+        let bvh = Lbvh::build(&pts);
+        for (qi, c) in cloud(10, 12).iter().enumerate() {
+            let k = 1 + qi * 3;
+            let got = bvh.query_knn(c, k);
+            // Brute-force k nearest.
+            let mut all: Vec<(u32, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    (
+                        i as u32,
+                        (0..3).map(|d| (p[d] - c[d]).powi(2)).sum::<f64>(),
+                    )
+                })
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            all.truncate(k);
+            assert_eq!(got.len(), k);
+            for (g, b) in got.iter().zip(&all) {
+                // Distances must agree (ties may permute indices).
+                assert!((g.1 - b.1).abs() < 1e-12, "k={k}: {g:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_handles_small_sets() {
+        let pts = vec![[0.0; 3], [1.0, 0.0, 0.0]];
+        let bvh = Lbvh::build(&pts);
+        let got = bvh.query_knn(&[0.1, 0.0, 0.0], 5);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    fn count_radius_matches_query_len() {
+        let pts = cloud(400, 13);
+        let bvh = Lbvh::build(&pts);
+        for c in cloud(8, 14) {
+            for r in [0.5, 1.5, 4.0] {
+                assert_eq!(bvh.count_radius(&c, r), bvh.query_radius(&c, r).len());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn bvh_finds_exactly_brute_force(seed in 0u64..1000, r in 0.1f64..3.0) {
+            let pts = cloud(200, seed);
+            let bvh = Lbvh::build(&pts);
+            let c = [5.0, 5.0, 5.0];
+            let mut got = bvh.query_radius(&c, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute(&pts, &c, r));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! DBSCAN (Ester et al. 1996) over the LBVH — the second clustering
+//! method of the in-situ pipeline.
+
+use crate::bvh::Lbvh;
+
+/// Classification of each point by DBSCAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Dense interior point of cluster `id`.
+    Core(u32),
+    /// Within eps of a core point of cluster `id`, but not itself dense.
+    Border(u32),
+    /// Neither.
+    Noise,
+}
+
+impl DbscanLabel {
+    /// The cluster id, if any.
+    pub fn cluster(&self) -> Option<u32> {
+        match self {
+            DbscanLabel::Core(c) | DbscanLabel::Border(c) => Some(*c),
+            DbscanLabel::Noise => None,
+        }
+    }
+}
+
+/// Run DBSCAN with radius `eps` and core threshold `min_pts` (neighbor
+/// count *including* the point itself). Returns one label per point;
+/// cluster ids are dense `0..n_clusters`.
+pub fn dbscan(points: &[[f64; 3]], eps: f64, min_pts: usize) -> Vec<DbscanLabel> {
+    let n = points.len();
+    if n == 0 {
+        return vec![];
+    }
+    let bvh = Lbvh::build(points);
+    // Precompute core flags.
+    let mut buf = Vec::new();
+    let mut is_core = vec![false; n];
+    for (i, p) in points.iter().enumerate() {
+        bvh.query_radius_into(p, eps, &mut buf);
+        is_core[i] = buf.len() >= min_pts;
+    }
+    let mut labels = vec![DbscanLabel::Noise; n];
+    let mut cluster = 0u32;
+    let mut stack = Vec::new();
+    for seed in 0..n {
+        if !is_core[seed] || labels[seed] != DbscanLabel::Noise {
+            continue;
+        }
+        // Grow a new cluster from this unvisited core point.
+        labels[seed] = DbscanLabel::Core(cluster);
+        stack.push(seed as u32);
+        while let Some(i) = stack.pop() {
+            bvh.query_radius_into(&points[i as usize], eps, &mut buf);
+            for &j in &buf {
+                let j = j as usize;
+                match labels[j] {
+                    DbscanLabel::Noise => {
+                        if is_core[j] {
+                            labels[j] = DbscanLabel::Core(cluster);
+                            stack.push(j as u32);
+                        } else {
+                            labels[j] = DbscanLabel::Border(cluster);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(c: [f64; 3], n: usize, r: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    c[0] + rng.gen_range(-r..r),
+                    c[1] + rng.gen_range(-r..r),
+                    c[2] + rng.gen_range(-r..r),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_clusters_and_noise() {
+        let mut pts = blob([2.0; 3], 60, 0.4, 1);
+        pts.extend(blob([8.0; 3], 60, 0.4, 2));
+        pts.push([5.0; 3]); // lone outlier
+        let labels = dbscan(&pts, 0.5, 8);
+        let c0 = labels[0].cluster().expect("first blob clustered");
+        let c1 = labels[70].cluster().expect("second blob clustered");
+        assert_ne!(c0, c1);
+        assert_eq!(labels[120], DbscanLabel::Noise);
+        // Every blob member belongs to its blob's cluster.
+        for (i, l) in labels.iter().enumerate().take(60) {
+            assert_eq!(l.cluster(), Some(c0), "point {i}");
+        }
+        for (i, l) in labels.iter().enumerate().skip(60).take(60) {
+            assert_eq!(l.cluster(), Some(c1), "point {i}");
+        }
+    }
+
+    #[test]
+    fn uniform_sparse_field_is_all_noise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let pts: Vec<[f64; 3]> = (0..200)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ]
+            })
+            .collect();
+        let labels = dbscan(&pts, 0.5, 5);
+        assert!(labels.iter().all(|l| *l == DbscanLabel::Noise));
+    }
+
+    #[test]
+    fn border_points_attach_to_cluster() {
+        // A dense line plus one point just within eps of its end: the end
+        // satellite has too few neighbors to be core, but borders the
+        // cluster.
+        let mut pts: Vec<[f64; 3]> = (0..20).map(|i| [i as f64 * 0.1, 0.0, 0.0]).collect();
+        pts.push([2.25, 0.0, 0.0]); // satellite
+        let labels = dbscan(&pts, 0.35, 4);
+        let cid = labels[0].cluster().unwrap();
+        match labels[20] {
+            DbscanLabel::Border(c) => assert_eq!(c, cid),
+            other => panic!("satellite should be border, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_cluster_count() {
+        let mut pts = blob([1.0; 3], 30, 0.3, 7);
+        pts.extend(blob([5.0; 3], 30, 0.3, 8));
+        pts.extend(blob([9.0; 3], 30, 0.3, 9));
+        let labels = dbscan(&pts, 0.5, 5);
+        let max_c = labels
+            .iter()
+            .filter_map(|l| l.cluster())
+            .max()
+            .unwrap();
+        assert_eq!(max_c, 2, "expected exactly 3 clusters");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], 1.0, 3).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Friends-of-friends halo finding (Davis et al. 1985) via union-find
+//! over BVH radius queries.
+
+use crate::bvh::Lbvh;
+
+/// A friends-of-friends halo.
+#[derive(Debug, Clone)]
+pub struct Halo {
+    /// Member particle indices.
+    pub members: Vec<u32>,
+    /// Total mass.
+    pub mass: f64,
+    /// Mass-weighted center.
+    pub center: [f64; 3],
+    /// Mass-weighted mean velocity.
+    pub velocity: [f64; 3],
+}
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`.
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Run FOF with linking length `b_link` (absolute length, not a fraction
+/// of mean separation) and keep groups with at least `min_members`.
+/// Halos are returned sorted by descending mass.
+pub fn fof_halos(
+    positions: &[[f64; 3]],
+    velocities: &[[f64; 3]],
+    masses: &[f64],
+    b_link: f64,
+    min_members: usize,
+) -> Vec<Halo> {
+    let n = positions.len();
+    assert_eq!(velocities.len(), n);
+    assert_eq!(masses.len(), n);
+    if n == 0 {
+        return vec![];
+    }
+    let bvh = Lbvh::build(positions);
+    let mut uf = UnionFind::new(n);
+    let mut buf = Vec::new();
+    for (i, p) in positions.iter().enumerate() {
+        bvh.query_radius_into(p, b_link, &mut buf);
+        for &j in &buf {
+            if (j as usize) > i {
+                uf.union(i as u32, j);
+            }
+        }
+    }
+    // Gather groups.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|members| members.len() >= min_members)
+        .map(|members| {
+            let mut mass = 0.0;
+            let mut center = [0.0f64; 3];
+            let mut velocity = [0.0f64; 3];
+            for &i in &members {
+                let m = masses[i as usize];
+                mass += m;
+                for d in 0..3 {
+                    center[d] += m * positions[i as usize][d];
+                    velocity[d] += m * velocities[i as usize][d];
+                }
+            }
+            for d in 0..3 {
+                center[d] /= mass;
+                velocity[d] /= mass;
+            }
+            Halo {
+                members,
+                mass,
+                center,
+                velocity,
+            }
+        })
+        .collect();
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap());
+    halos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(center: [f64; 3], n: usize, r: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    center[0] + rng.gen_range(-r..r),
+                    center[1] + rng.gen_range(-r..r),
+                    center[2] + rng.gen_range(-r..r),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_separated_blobs_two_halos() {
+        let mut pos = blob([2.0; 3], 50, 0.3, 1);
+        pos.extend(blob([8.0; 3], 80, 0.3, 2));
+        let vel = vec![[0.0; 3]; pos.len()];
+        let mass = vec![1.0; pos.len()];
+        let halos = fof_halos(&pos, &vel, &mass, 0.3, 10);
+        assert_eq!(halos.len(), 2);
+        // Sorted by mass: the 80-particle blob first.
+        assert_eq!(halos[0].members.len(), 80);
+        assert_eq!(halos[1].members.len(), 50);
+        // Centers near the blob centers.
+        for d in 0..3 {
+            assert!((halos[0].center[d] - 8.0).abs() < 0.2);
+            assert!((halos[1].center[d] - 2.0).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn linking_length_merges_blobs() {
+        let mut pos = blob([2.0; 3], 30, 0.3, 3);
+        pos.extend(blob([3.2; 3], 30, 0.3, 4));
+        let vel = vec![[0.0; 3]; pos.len()];
+        let mass = vec![1.0; pos.len()];
+        let small = fof_halos(&pos, &vel, &mass, 0.25, 5);
+        let large = fof_halos(&pos, &vel, &mass, 2.0, 5);
+        assert!(small.len() >= 2, "short link should split: {}", small.len());
+        assert_eq!(large.len(), 1, "long link should merge");
+        assert_eq!(large[0].members.len(), 60);
+    }
+
+    #[test]
+    fn isolated_particles_are_not_halos() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pos: Vec<[f64; 3]> = (0..100)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ]
+            })
+            .collect();
+        let vel = vec![[0.0; 3]; 100];
+        let mass = vec![1.0; 100];
+        // Sparse field, tiny linking length, min 5 members: nothing.
+        let halos = fof_halos(&pos, &vel, &mass, 0.5, 5);
+        assert!(halos.is_empty(), "found {} spurious halos", halos.len());
+    }
+
+    #[test]
+    fn mass_weighted_properties() {
+        // Two particles, unequal masses.
+        let pos = vec![[0.0; 3], [1.0, 0.0, 0.0]];
+        let vel = vec![[1.0, 0.0, 0.0], [-1.0, 0.0, 0.0]];
+        let mass = vec![3.0, 1.0];
+        let halos = fof_halos(&pos, &vel, &mass, 1.5, 2);
+        assert_eq!(halos.len(), 1);
+        let h = &halos[0];
+        assert!((h.mass - 4.0).abs() < 1e-12);
+        assert!((h.center[0] - 0.25).abs() < 1e-12);
+        assert!((h.velocity[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_percolates_into_one_halo() {
+        // A chain of particles spaced just under the linking length must
+        // percolate into a single group (FOF's defining transitivity).
+        let pos: Vec<[f64; 3]> = (0..50).map(|i| [i as f64 * 0.9, 0.0, 0.0]).collect();
+        let vel = vec![[0.0; 3]; 50];
+        let mass = vec![1.0; 50];
+        let halos = fof_halos(&pos, &vel, &mass, 1.0, 2);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].members.len(), 50);
+    }
+
+    #[test]
+    fn union_find_invariants() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(9));
+    }
+}

@@ -1,0 +1,276 @@
+//! Halo-occupation-distribution (HOD) galaxy catalogs.
+//!
+//! The paper's survey products are *galaxy* catalogs built on the in-situ
+//! halo catalogs (cf. CosmoDC2 and the Euclid Flagship mocks, Refs. 8–9).
+//! We implement the standard five-parameter HOD (Zheng et al. 2005):
+//!
+//! ```text
+//! <N_cen(M)> = 1/2 [1 + erf((log M - log M_min) / sigma_logM)]
+//! <N_sat(M)> = N_cen(M) ((M - M_0) / M_1)^alpha     (M > M_0)
+//! ```
+//!
+//! Centrals sit at the halo center; satellites follow an isothermal-ish
+//! radial profile scaled by a size proxy.
+
+use crate::fof::Halo;
+use rand::Rng;
+
+/// A mock galaxy.
+#[derive(Debug, Clone, Copy)]
+pub struct Galaxy {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Peculiar velocity (halo bulk; satellites add dispersion).
+    pub vel: [f64; 3],
+    /// Host halo mass.
+    pub host_mass: f64,
+    /// Central (true) or satellite (false).
+    pub central: bool,
+}
+
+/// Five-parameter HOD.
+#[derive(Debug, Clone, Copy)]
+pub struct HodParams {
+    /// log10 of the minimum halo mass hosting a central.
+    pub log_m_min: f64,
+    /// Width of the central cutoff (dex).
+    pub sigma_logm: f64,
+    /// log10 of the satellite cutoff mass.
+    pub log_m0: f64,
+    /// log10 of the satellite normalization mass.
+    pub log_m1: f64,
+    /// Satellite power-law slope.
+    pub alpha: f64,
+    /// Satellite radial scale as a fraction of the halo size proxy.
+    pub sat_radius_frac: f64,
+    /// Satellite velocity dispersion, km/s per (M/1e12)^(1/3).
+    pub sigma_v: f64,
+}
+
+impl HodParams {
+    /// SDSS-like fiducial values.
+    pub fn fiducial() -> Self {
+        Self {
+            log_m_min: 12.0,
+            sigma_logm: 0.25,
+            log_m0: 12.2,
+            log_m1: 13.3,
+            alpha: 1.0,
+            sat_radius_frac: 0.5,
+            sigma_v: 200.0,
+        }
+    }
+
+    /// Expected central occupation.
+    pub fn n_cen(&self, mass: f64) -> f64 {
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        let x = (mass.log10() - self.log_m_min) / self.sigma_logm;
+        0.5 * (1.0 + erf(x))
+    }
+
+    /// Expected satellite occupation.
+    pub fn n_sat(&self, mass: f64) -> f64 {
+        let m0 = 10f64.powf(self.log_m0);
+        if mass <= m0 {
+            return 0.0;
+        }
+        let m1 = 10f64.powf(self.log_m1);
+        self.n_cen(mass) * ((mass - m0) / m1).powf(self.alpha)
+    }
+}
+
+/// Error function via Abramowitz–Stegun (|err| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let s = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    s * (1.0 - poly * (-x * x).exp())
+}
+
+/// Populate a halo catalog with galaxies. `size_proxy` maps halo mass to
+/// a radius for the satellite distribution (e.g. an SO radius); pass the
+/// mean interparticle spacing as a floor when SO radii are unavailable.
+pub fn populate<R: Rng>(
+    rng: &mut R,
+    halos: &[Halo],
+    params: &HodParams,
+    size_proxy: impl Fn(&Halo) -> f64,
+) -> Vec<Galaxy> {
+    let mut galaxies = Vec::new();
+    for h in halos {
+        // Central: Bernoulli draw.
+        let has_central = rng.gen::<f64>() < params.n_cen(h.mass);
+        if has_central {
+            galaxies.push(Galaxy {
+                pos: h.center,
+                vel: h.velocity,
+                host_mass: h.mass,
+                central: true,
+            });
+        } else {
+            continue; // standard HOD: no satellites without a central
+        }
+        // Satellites: Poisson draw.
+        let lambda = params.n_sat(h.mass);
+        let n_sat = poisson_draw(rng, lambda);
+        let r_s = size_proxy(h) * params.sat_radius_frac;
+        let sigma_v = params.sigma_v * (h.mass / 1.0e12).cbrt();
+        for _ in 0..n_sat {
+            // Isotropic direction, exponential-ish radius.
+            let r = -r_s * (rng.gen_range(1e-9f64..1.0)).ln();
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let phi = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let st = (1.0 - u * u).sqrt();
+            let gauss = |rng: &mut R| -> f64 {
+                let u1: f64 = rng.gen_range(1e-12f64..1.0);
+                let u2: f64 = rng.gen_range(0.0f64..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            galaxies.push(Galaxy {
+                pos: [
+                    h.center[0] + r * st * phi.cos(),
+                    h.center[1] + r * st * phi.sin(),
+                    h.center[2] + r * u,
+                ],
+                vel: [
+                    h.velocity[0] + sigma_v * gauss(rng),
+                    h.velocity[1] + sigma_v * gauss(rng),
+                    h.velocity[2] + sigma_v * gauss(rng),
+                ],
+                host_mass: h.mass,
+                central: false,
+            });
+        }
+    }
+    galaxies
+}
+
+fn poisson_draw<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    // Knuth for small lambda; normal approximation for large.
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let u1: f64 = rng.gen_range(1e-12f64..1.0);
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        ((lambda + lambda.sqrt() * g).round().max(0.0)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn halo(mass: f64, center: [f64; 3]) -> Halo {
+        Halo {
+            members: vec![0],
+            mass,
+            center,
+            velocity: [100.0, 0.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn occupation_functions_sane() {
+        let p = HodParams::fiducial();
+        // Far below M_min: empty. Far above: one central.
+        assert!(p.n_cen(1.0e10) < 1e-6);
+        assert!((p.n_cen(1.0e14) - 1.0).abs() < 1e-6);
+        assert!((p.n_cen(10f64.powf(p.log_m_min)) - 0.5).abs() < 1e-6);
+        // Satellites grow with mass.
+        assert_eq!(p.n_sat(1.0e12), 0.0);
+        assert!(p.n_sat(1.0e14) > p.n_sat(1.0e13));
+        // Cluster-mass halos host several satellites (alpha = 1:
+        // <N_sat>(1e14) ~ (1e14 - M0)/M1 ~ 4.9).
+        let n14 = p.n_sat(1.0e14);
+        assert!(n14 > 3.0 && n14 < 8.0, "n_sat(1e14) = {n14}");
+    }
+
+    #[test]
+    fn population_statistics_match_expectation() {
+        let p = HodParams::fiducial();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let halos: Vec<Halo> = (0..2000).map(|_| halo(1.0e14, [50.0; 3])).collect();
+        let gals = populate(&mut rng, &halos, &p, |_| 1.0);
+        let centrals = gals.iter().filter(|g| g.central).count();
+        let sats = gals.len() - centrals;
+        // All these halos are far above M_min: every halo gets a central.
+        assert!(
+            (centrals as f64 / 2000.0 - 1.0).abs() < 0.01,
+            "centrals {centrals}"
+        );
+        let expect_sats = 2000.0 * p.n_sat(1.0e14);
+        assert!(
+            (sats as f64 / expect_sats - 1.0).abs() < 0.1,
+            "sats {sats} vs {expect_sats}"
+        );
+    }
+
+    #[test]
+    fn small_halos_stay_dark() {
+        let p = HodParams::fiducial();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let halos: Vec<Halo> = (0..1000).map(|_| halo(1.0e10, [10.0; 3])).collect();
+        let gals = populate(&mut rng, &halos, &p, |_| 1.0);
+        assert!(gals.len() < 5, "dark halos produced {} galaxies", gals.len());
+    }
+
+    #[test]
+    fn satellites_cluster_around_center() {
+        let p = HodParams::fiducial();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let halos = vec![halo(1.0e15, [50.0; 3])];
+        let gals = populate(&mut rng, &halos, &p, |_| 1.0);
+        let sats: Vec<&Galaxy> = gals.iter().filter(|g| !g.central).collect();
+        assert!(sats.len() > 10);
+        for g in sats {
+            let d2: f64 = (0..3).map(|d| (g.pos[d] - 50.0).powi(2)).sum();
+            assert!(d2.sqrt() < 20.0, "satellite flung to {:?}", g.pos);
+            // Velocity dispersion applied.
+            assert!(g.vel != [100.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn erf_reference() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &lambda in &[0.5f64, 5.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n)
+                .map(|_| poisson_draw(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean / lambda - 1.0).abs() < 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Halo mass functions: `dn / dlog10(M)` from a halo catalog.
+
+use crate::fof::Halo;
+
+/// One mass-function bin.
+#[derive(Debug, Clone, Copy)]
+pub struct MassBin {
+    /// Bin center in log10(M).
+    pub log10_mass: f64,
+    /// Halo count in the bin.
+    pub count: u64,
+    /// Comoving number density per dex, `(Mpc/h)^-3 dex^-1`.
+    pub dn_dlogm: f64,
+}
+
+/// Bin halo masses into `n_bins` logarithmic bins over
+/// `[log10_min, log10_max]`, normalizing by the survey `volume`.
+pub fn mass_function(
+    halos: &[Halo],
+    volume: f64,
+    log10_min: f64,
+    log10_max: f64,
+    n_bins: usize,
+) -> Vec<MassBin> {
+    assert!(n_bins > 0 && log10_max > log10_min && volume > 0.0);
+    let dlog = (log10_max - log10_min) / n_bins as f64;
+    let mut counts = vec![0u64; n_bins];
+    for h in halos {
+        if h.mass <= 0.0 {
+            continue;
+        }
+        let lm = h.mass.log10();
+        if lm < log10_min || lm >= log10_max {
+            continue;
+        }
+        let b = ((lm - log10_min) / dlog) as usize;
+        counts[b.min(n_bins - 1)] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(b, count)| MassBin {
+            log10_mass: log10_min + (b as f64 + 0.5) * dlog,
+            count,
+            dn_dlogm: count as f64 / (volume * dlog),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halo(mass: f64) -> Halo {
+        Halo {
+            members: vec![0],
+            mass,
+            center: [0.0; 3],
+            velocity: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn counts_and_normalization() {
+        let halos: Vec<Halo> = vec![1e12, 2e12, 5e13, 1e14, 2e14, 9e14]
+            .into_iter()
+            .map(halo)
+            .collect();
+        let bins = mass_function(&halos, 1000.0, 11.0, 15.0, 4);
+        let total: u64 = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 6);
+        // Bin [12,13): masses 1e12, 2e12.
+        assert_eq!(bins[1].count, 2);
+        assert!((bins[1].dn_dlogm - 2.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_excluded() {
+        let halos = vec![halo(1.0), halo(1e20)];
+        let bins = mass_function(&halos, 1.0, 10.0, 15.0, 5);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn steeper_than_flat_for_realistic_catalog() {
+        // A power-law catalog: many small halos, few massive ones — the
+        // binned function must decrease with mass.
+        let mut halos = Vec::new();
+        for i in 0..1000 {
+            let u = (i as f64 + 0.5) / 1000.0;
+            // CDF^{-1} for n(M) ~ M^-2 between 1e12 and 1e15.
+            let m = 1.0e12 / (1.0 - u * (1.0 - 1.0e-3));
+            halos.push(halo(m));
+        }
+        let bins = mass_function(&halos, 1.0, 12.0, 15.0, 6);
+        assert!(bins[0].count > bins[3].count);
+        assert!(bins[3].count >= bins[5].count);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spherical-overdensity (SO) halo masses and radial profiles.
+//!
+//! Survey-facing halo catalogs report `M_200c`-style masses: the mass
+//! inside the radius where the mean enclosed density is `Delta` times a
+//! reference density. We grow spheres around FOF centers using the LBVH
+//! and solve for the crossing radius.
+
+use crate::bvh::Lbvh;
+use crate::fof::Halo;
+
+/// SO measurement for one halo.
+#[derive(Debug, Clone, Copy)]
+pub struct SoMass {
+    /// Overdensity radius.
+    pub r_delta: f64,
+    /// Enclosed mass at `r_delta`.
+    pub m_delta: f64,
+    /// Particles enclosed.
+    pub n_enclosed: usize,
+}
+
+/// Compute the SO mass around `center`, with threshold `delta` times
+/// `rho_ref`. Walks particles outward until the mean enclosed density
+/// drops below the threshold; returns `None` when even the innermost
+/// shell is below threshold (not a collapsed object).
+pub fn so_mass(
+    bvh: &Lbvh,
+    masses: &[f64],
+    center: &[f64; 3],
+    delta: f64,
+    rho_ref: f64,
+    r_max: f64,
+) -> Option<SoMass> {
+    let threshold = delta * rho_ref;
+    // Gather all candidates sorted by radius (knn over the whole set
+    // returns distance-ordered pairs), clipped at r_max.
+    let mut cand: Vec<(u32, f64)> = Vec::new();
+    for (i, d2) in bvh.query_knn(center, bvh.len()) {
+        if d2 > r_max * r_max {
+            break;
+        }
+        cand.push((i, d2));
+    }
+    if cand.is_empty() {
+        return None;
+    }
+    let mut enclosed_mass = 0.0;
+    let mut best: Option<SoMass> = None;
+    for (rank, &(i, d2)) in cand.iter().enumerate() {
+        enclosed_mass += masses[i as usize];
+        let r = d2.sqrt().max(1e-10);
+        let vol = 4.0 / 3.0 * std::f64::consts::PI * r * r * r;
+        let mean_rho = enclosed_mass / vol;
+        if mean_rho >= threshold {
+            best = Some(SoMass {
+                r_delta: r,
+                m_delta: enclosed_mass,
+                n_enclosed: rank + 1,
+            });
+        }
+    }
+    best
+}
+
+/// SO masses for a FOF catalog (`delta` × `rho_ref`, search within
+/// `r_max` of each FOF center). Halos whose centers are not overdense
+/// yield `None` entries.
+pub fn so_masses_for_catalog(
+    positions: &[[f64; 3]],
+    masses: &[f64],
+    halos: &[Halo],
+    delta: f64,
+    rho_ref: f64,
+    r_max: f64,
+) -> Vec<Option<SoMass>> {
+    let bvh = Lbvh::build(positions);
+    halos
+        .iter()
+        .map(|h| so_mass(&bvh, masses, &h.center, delta, rho_ref, r_max))
+        .collect()
+}
+
+/// Spherically averaged density profile around a center: mean density in
+/// logarithmic radial shells. Returns `(r_mid, rho)` pairs.
+pub fn density_profile(
+    bvh: &Lbvh,
+    masses: &[f64],
+    center: &[f64; 3],
+    r_min: f64,
+    r_max: f64,
+    n_bins: usize,
+) -> Vec<(f64, f64)> {
+    assert!(r_min > 0.0 && r_max > r_min && n_bins > 0);
+    let log_step = (r_max / r_min).ln() / n_bins as f64;
+    let edges: Vec<f64> = (0..=n_bins)
+        .map(|i| r_min * (log_step * i as f64).exp())
+        .collect();
+    let mut shell_mass = vec![0.0f64; n_bins];
+    for (i, d2) in bvh.query_knn(center, bvh.len()) {
+        let r = d2.sqrt();
+        if r < r_min || r >= r_max {
+            continue;
+        }
+        let b = ((r / r_min).ln() / log_step) as usize;
+        shell_mass[b.min(n_bins - 1)] += masses[i as usize];
+    }
+    (0..n_bins)
+        .map(|b| {
+            let vol =
+                4.0 / 3.0 * std::f64::consts::PI * (edges[b + 1].powi(3) - edges[b].powi(3));
+            ((edges[b] * edges[b + 1]).sqrt(), shell_mass[b] / vol)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A uniform-density ball of radius R: analytic SO radius known.
+    fn ball(n: usize, radius: f64, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pts = Vec::with_capacity(n);
+        while pts.len() < n {
+            let p = [
+                rng.gen_range(-radius..radius),
+                rng.gen_range(-radius..radius),
+                rng.gen_range(-radius..radius),
+            ];
+            if p.iter().map(|x| x * x).sum::<f64>() <= radius * radius {
+                pts.push([p[0] + 50.0, p[1] + 50.0, p[2] + 50.0]);
+            }
+        }
+        let m = vec![1.0; n];
+        (pts, m)
+    }
+
+    #[test]
+    fn uniform_ball_so_radius() {
+        let radius = 2.0;
+        let n = 4000;
+        let (pts, m) = ball(n, radius, 1);
+        let bvh = Lbvh::build(&pts);
+        let rho_ball = n as f64 / (4.0 / 3.0 * std::f64::consts::PI * radius.powi(3));
+        // Threshold at half the ball's density: the entire ball is
+        // enclosed, so r_delta ~ R (slightly beyond: outside the ball the
+        // mean density dilutes toward the threshold).
+        let so = so_mass(&bvh, &m, &[50.0; 3], 0.5, rho_ball, 10.0).unwrap();
+        assert!(
+            so.r_delta >= radius * 0.95 && so.r_delta <= radius * 1.4,
+            "r_delta = {} vs R = {radius}",
+            so.r_delta
+        );
+        // All the mass is enclosed.
+        assert!((so.m_delta / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn threshold_above_central_density_gives_none() {
+        let (pts, m) = ball(500, 1.0, 2);
+        let bvh = Lbvh::build(&pts);
+        let rho_ball = 500.0 / (4.0 / 3.0 * std::f64::consts::PI);
+        let so = so_mass(&bvh, &m, &[50.0; 3], 1.0e4, rho_ball, 5.0);
+        assert!(so.is_none());
+    }
+
+    #[test]
+    fn profile_of_uniform_ball_is_flat_then_zero() {
+        let radius = 2.0;
+        let (pts, m) = ball(6000, radius, 3);
+        let bvh = Lbvh::build(&pts);
+        let prof = density_profile(&bvh, &m, &[50.0; 3], 0.3, 4.0, 8);
+        let rho_ball = 6000.0 / (4.0 / 3.0 * std::f64::consts::PI * radius.powi(3));
+        // Inner bins near rho_ball, outer bins near zero.
+        let inner: Vec<&(f64, f64)> = prof.iter().filter(|(r, _)| *r < 1.4).collect();
+        let outer: Vec<&(f64, f64)> = prof.iter().filter(|(r, _)| *r > 2.5).collect();
+        assert!(!inner.is_empty() && !outer.is_empty());
+        for (r, rho) in &inner {
+            assert!(
+                (rho / rho_ball - 1.0).abs() < 0.25,
+                "inner profile at r={r}: {rho} vs {rho_ball}"
+            );
+        }
+        for (_, rho) in &outer {
+            assert!(*rho < 0.1 * rho_ball);
+        }
+    }
+
+    #[test]
+    fn catalog_helper_runs_per_halo() {
+        let (pts, m) = ball(1000, 1.5, 4);
+        let halos = vec![crate::fof::Halo {
+            members: vec![0],
+            mass: 1000.0,
+            center: [50.0; 3],
+            velocity: [0.0; 3],
+        }];
+        let rho_ball = 1000.0 / (4.0 / 3.0 * std::f64::consts::PI * 1.5f64.powi(3));
+        let so = so_masses_for_catalog(&pts, &m, &halos, 0.3, rho_ball, 8.0);
+        assert_eq!(so.len(), 1);
+        assert!(so[0].is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Design ablation — the separation-of-scales handover.
+//!
+//! The split scale `r_s` sets where the spectral PM solver hands force
+//! computation to the short-range kernels (the paper's "low-noise
+//! handover on a compact spatial scale"). Small `r_s`: cheap short-range
+//! (cutoff 7 r_s) but PM noise bleeds in; large `r_s`: accurate but the
+//! short-range pair count explodes as r_s³. This bench sweeps r_s and
+//! measures total-force accuracy against direct Newtonian summation plus
+//! the short-range cost proxy.
+
+use hacc_bench::{compare, print_table};
+use hacc_grav::ForceSplitTable;
+use hacc_mesh::{PmConfig, PmSolver};
+use hacc_ranks::World;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n_grid = 32;
+    let box_size = 32.0;
+    let n_part = 300;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let pos: Vec<[f64; 3]> = (0..n_part)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+            ]
+        })
+        .collect();
+    let mass: Vec<f64> = (0..n_part).map(|_| rng.gen_range(0.5..2.0)).collect();
+
+    // Reference: the same PM + short-range pipeline at a very wide
+    // handover (r_s = 4 cells, cutoff covering most of the box) — the
+    // converged periodic (Ewald-like) force. Self-convergence isolates
+    // the split-scale error from the periodic-summation treatment, which
+    // a direct minimum-image sum would get wrong by ~10%.
+    let reference = pm_plus_sr(n_grid, box_size, 4.0, &pos, &mass);
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for &split_cells in &[0.5f64, 1.0, 1.5, 2.5] {
+        let split = split_cells * box_size / n_grid as f64;
+        let total = pm_plus_sr(n_grid, box_size, split_cells, &pos, &mass);
+        let _ = split;
+
+        // Median relative force error.
+        let mut errs: Vec<f64> = (0..n_part)
+            .map(|i| {
+                let num: f64 = (0..3)
+                    .map(|d| (total[i][d] - reference[i][d]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                let den: f64 = (0..3)
+                    .map(|d| reference[i][d].powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                num / den.max(1e-12)
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[n_part / 2];
+        let p90 = errs[n_part * 9 / 10];
+        // Short-range cost proxy: expected neighbors within the cutoff.
+        let cutoff = 7.0 * split;
+        let neighbors = 4.0 / 3.0 * std::f64::consts::PI * cutoff.powi(3)
+            / box_size.powi(3)
+            * n_part as f64;
+        errors.push((split_cells, median));
+        rows.push(vec![
+            format!("{split_cells:.1}"),
+            format!("{:.2}", cutoff),
+            format!("{neighbors:.1}"),
+            format!("{:.2}%", median * 100.0),
+            format!("{:.2}%", p90 * 100.0),
+        ]);
+    }
+    print_table(
+        "Force-split handover sweep (32³ PM grid, 300 particles, direct SR)",
+        &["r_s [cells]", "cutoff [Mpc/h]", "SR neighbors", "median err", "90% err"],
+        &rows,
+    );
+    let err_small = errors.first().unwrap().1;
+    let err_big = errors.last().unwrap().1;
+    compare(
+        "larger handover scale -> more accurate total force",
+        "\"low-noise handover on a compact spatial scale\"",
+        &format!("median {:.2}% -> {:.2}%", err_small * 100.0, err_big * 100.0),
+        err_big <= err_small,
+    );
+    let err_production = errors
+        .iter()
+        .find(|(c, _)| (*c - 1.5).abs() < 1e-9)
+        .unwrap()
+        .1;
+    compare(
+        "production choice (1.5 cells) is percent-level converged",
+        "force errors subdominant to discreteness noise",
+        &format!("median {:.2}%", err_production * 100.0),
+        err_production < 0.03,
+    );
+    println!(
+        "\n  cost grows as r_s³ (the SR neighbor column); the paper picks the knee\n  of this curve — accuracy saturates while cost keeps climbing."
+    );
+}
+
+/// PM long-range + direct complementary short-range total force.
+fn pm_plus_sr(
+    n_grid: usize,
+    box_size: f64,
+    split_cells: f64,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+) -> Vec<[f64; 3]> {
+    let split = split_cells * box_size / n_grid as f64;
+    let pos2 = pos.to_vec();
+    let mass2 = mass.to_vec();
+    World::run(1, move |comm| {
+        let pm = PmSolver::new(
+            comm,
+            PmConfig {
+                n: n_grid,
+                box_size,
+                prefactor: 4.0 * std::f64::consts::PI,
+                split_scale: split,
+                deconvolve_cic: true,
+            },
+        );
+        let lr = pm.accelerations(comm, &pos2, &mass2);
+        let table = ForceSplitTable::new(split, 1e-3, 8192);
+        let mut out = lr;
+        for i in 0..pos2.len() {
+            for j in 0..pos2.len() {
+                if i == j {
+                    continue;
+                }
+                let mut dr = [0.0f64; 3];
+                for d in 0..3 {
+                    let mut x = pos2[i][d] - pos2[j][d];
+                    if x > box_size / 2.0 {
+                        x -= box_size;
+                    }
+                    if x < -box_size / 2.0 {
+                        x += box_size;
+                    }
+                    dr[d] = x;
+                }
+                let r2: f64 = dr.iter().map(|x| x * x).sum();
+                let g = table.eval_r2(r2);
+                for d in 0..3 {
+                    out[i][d] -= mass2[j] * g * dr[d];
+                }
+            }
+        }
+        out
+    })
+    .pop()
+    .unwrap()
+}

@@ -1,0 +1,128 @@
+//! Fig. 6 — device utilization across vendors and simulation phases.
+//!
+//! Left panel: single-node utilization on Nvidia / AMD / Intel is
+//! consistent (the code is GPU-portable). Right panel: full-machine
+//! per-rank distributions at high-z (uniform, tight), low-z (clustered,
+//! higher mean, broader), and low-z Flat (synchronized rungs, tight
+//! again). Paper values: high-z sustained 26.5% / peak ~33%; low-z
+//! sustained 28% / peak ~34%.
+
+use hacc_bench::{clustered_cloud, compare, mean_std, print_table, sph_workload, uniform_cloud};
+use hacc_gpusim::{DeviceSpec, ExecMode, ExecutionModel};
+
+fn main() {
+    // --- Left panel: single-node, three vendors, same workload ---
+    let cloud = uniform_cloud(16_000, 25.0, 11);
+    let mut rows = Vec::new();
+    let mut utils = Vec::new();
+    for dev in DeviceSpec::catalog() {
+        let c = sph_workload(&cloud, 25.0, dev, ExecMode::WarpSplit);
+        let u = ExecutionModel::new(dev).utilization(&c);
+        utils.push(u);
+        rows.push(vec![
+            dev.name.to_string(),
+            format!("{:.1}%", u * 100.0),
+            format!("{:.1}", u * dev.peak_tflops_fp32),
+        ]);
+    }
+    print_table(
+        "Fig. 6 left — single-node utilization across vendors (warp-split CRKSPH stack)",
+        &["device", "utilization", "achieved TFLOPs"],
+        &rows,
+    );
+    let spread = utils.iter().cloned().fold(0.0f64, f64::max)
+        - utils.iter().cloned().fold(1.0f64, f64::min);
+    compare(
+        "vendor-consistent utilization",
+        "similar across all three",
+        &format!("spread {:.1} pp", spread * 100.0),
+        spread < 0.10,
+    );
+
+    // --- Right panel: per-rank distributions, 64 simulated ranks ---
+    let dev = DeviceSpec::mi250x_gcd();
+    let model = ExecutionModel::new(dev);
+    let n_ranks = 64;
+    let rank_util = |clustered: bool, flat: bool| -> Vec<f64> {
+        (0..n_ranks)
+            .map(|r| {
+                let seed = 1000 + r as u64;
+                // Per-rank load imbalance: clustered ranks host different
+                // numbers of deep particles; flat mode synchronizes depth.
+                let n = if clustered && !flat {
+                    6_000 + (seed % 7) as usize * 1_500
+                } else {
+                    8_000
+                };
+                let pts = if clustered {
+                    clustered_cloud(n, 20.0, seed)
+                } else {
+                    uniform_cloud(n, 20.0, seed)
+                };
+                model.utilization(&sph_workload(&pts, 20.0, dev, ExecMode::WarpSplit))
+            })
+            .collect()
+    };
+    let high_z = rank_util(false, false);
+    let low_z = rank_util(true, false);
+    let low_z_flat = rank_util(true, true);
+    let (m_h, s_h) = mean_std(&high_z);
+    let (m_l, s_l) = mean_std(&low_z);
+    let (m_f, s_f) = mean_std(&low_z_flat);
+    let peak = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    let rows = vec![
+        vec![
+            "high-z".into(),
+            format!("{:.1}%", m_h * 100.0),
+            format!("{:.2} pp", s_h * 100.0),
+            format!("{:.1}%", peak(&high_z) * 100.0),
+        ],
+        vec![
+            "low-z".into(),
+            format!("{:.1}%", m_l * 100.0),
+            format!("{:.2} pp", s_l * 100.0),
+            format!("{:.1}%", peak(&low_z) * 100.0),
+        ],
+        vec![
+            "low-z Flat".into(),
+            format!("{:.1}%", m_f * 100.0),
+            format!("{:.2} pp", s_f * 100.0),
+            format!("{:.1}%", peak(&low_z_flat) * 100.0),
+        ],
+    ];
+    print_table(
+        "Fig. 6 right — per-rank utilization distributions (64 ranks)",
+        &["phase", "mean", "σ", "peak"],
+        &rows,
+    );
+    compare(
+        "high-z sustained utilization",
+        "26.5% (peak ~33%)",
+        &format!("{:.1}% (peak {:.1}%)", m_h * 100.0, peak(&high_z) * 100.0),
+        m_h > 0.18 && m_h < 0.40,
+    );
+    compare(
+        "low-z utilization >= high-z (clustering fills tiles)",
+        "28% vs 26.5%",
+        &format!("{:.1}% vs {:.1}%", m_l * 100.0, m_h * 100.0),
+        m_l >= m_h * 0.95,
+    );
+    compare(
+        "low-z distribution broader than high-z",
+        "visibly broader in Fig. 6",
+        &format!("σ {:.2} vs {:.2} pp", s_l * 100.0, s_h * 100.0),
+        s_l > s_h,
+    );
+    compare(
+        "Flat mode tightens the distribution",
+        "much tighter distribution",
+        &format!("σ {:.2} -> {:.2} pp", s_l * 100.0, s_f * 100.0),
+        s_f < s_l,
+    );
+    compare(
+        "Flat mean ~ native mean (adaptivity costs nothing)",
+        "similar average performance",
+        &format!("{:.1}% vs {:.1}%", m_f * 100.0, m_l * 100.0),
+        (m_f - m_l).abs() < 0.08,
+    );
+}

@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks of the hot kernels: serial/distributed FFT,
+//! CIC deposit, tree build, the CRKSPH pipeline, FOF, and CRC32 — the
+//! per-component performance baseline behind every figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hacc_bench::{sph_workload, uniform_cloud};
+use hacc_gpusim::{DeviceSpec, ExecMode};
+use hacc_swfft::{Complex64, FftPlan};
+use hacc_tree::{ChainingMesh, CmConfig};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                plan.forward(black_box(&mut d));
+                d
+            })
+        });
+    }
+    // The paper's grid dimension is not a power of two: Bluestein path.
+    let n = 126;
+    let plan = FftPlan::new(n);
+    let data: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+    g.bench_function("bluestein_126", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            plan.forward(black_box(&mut d));
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for &n in &[10_000usize, 40_000] {
+        let pos = uniform_cloud(n, 32.0, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                ChainingMesh::build(
+                    black_box(&pos),
+                    [0.0; 3],
+                    [32.0; 3],
+                    &CmConfig {
+                        bin_width: 4.0,
+                        max_leaf: 128,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sph_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crksph_stack");
+    g.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let ext = (n as f64).cbrt();
+        let pos = uniform_cloud(n, ext, 6);
+        for mode in [ExecMode::WarpSplit, ExecMode::Naive] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        sph_workload(
+                            black_box(&pos),
+                            ext,
+                            DeviceSpec::mi250x_gcd(),
+                            mode,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    let pos = hacc_bench::clustered_cloud(20_000, 30.0, 8);
+    let vel = vec![[0.0; 3]; pos.len()];
+    let mass = vec![1.0; pos.len()];
+    g.bench_function("fof_20k", |b| {
+        b.iter(|| hacc_analysis::fof_halos(black_box(&pos), &vel, &mass, 0.4, 10))
+    });
+    g.bench_function("lbvh_build_20k", |b| {
+        b.iter(|| hacc_analysis::Lbvh::build(black_box(&pos)))
+    });
+    g.finish();
+}
+
+fn bench_crc32(c: &mut Criterion) {
+    let data = vec![0xABu8; 1 << 20];
+    c.bench_function("crc32_1MiB", |b| {
+        b.iter(|| hacc_iosim::format::crc32(black_box(&data)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_tree_build,
+    bench_sph_pipeline,
+    bench_fof,
+    bench_crc32
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Cosmological kick/drift operators.
+//!
+//! Comoving equations of motion with momentum `p = a² dx/dt`:
+//!
+//! ```text
+//! dx/da = p / (a³ H(a))          (drift)
+//! dp/da = g(x) / (a H(a))        (kick)
+//! ```
+//!
+//! with the comoving Poisson equation `∇²φ = 4πG δρ_com / a`, so the mesh
+//! prefactor is `4πG/a` and short-range pair forces use `G/a`. Units:
+//! lengths Mpc/h, velocities km/s, masses M_sun/h, `H(a) = 100 E(a)` in
+//! km/s/(Mpc/h). The coordinate time `τ` satisfies `dτ = da/(a H)` and is
+//! measured in `(Mpc/h)/(km/s)`.
+//!
+//! The peculiar velocity is `v_pec = p / a` km/s.
+
+use hacc_units::cosmology::integrate;
+use hacc_units::CosmologyParams;
+
+/// Conversion: 1 Mpc/(km/s) = 977.79 Gyr.
+pub const MPC_PER_KMS_GYR: f64 = 977.79;
+
+/// Precomputed kick/drift integrals for a cosmology.
+#[derive(Debug, Clone, Copy)]
+pub struct KickDrift {
+    params: CosmologyParams,
+}
+
+impl KickDrift {
+    /// New operator set.
+    pub fn new(params: CosmologyParams) -> Self {
+        Self { params }
+    }
+
+    /// Hubble rate in km/s/(Mpc/h).
+    #[inline]
+    pub fn hubble(&self, a: f64) -> f64 {
+        100.0 * self.params.e(a)
+    }
+
+    /// Drift factor `∫ da / (a³ H)` over `[a0, a1]`.
+    pub fn drift_factor(&self, a0: f64, a1: f64) -> f64 {
+        integrate(|a| 1.0 / (a * a * a * self.hubble(a)), a0, a1, 256)
+    }
+
+    /// Kick factor `∫ da / (a H)` over `[a0, a1]` — also the elapsed
+    /// coordinate time `Δτ` in (Mpc/h)/(km/s).
+    pub fn kick_factor(&self, a0: f64, a1: f64) -> f64 {
+        integrate(|a| 1.0 / (a * self.hubble(a)), a0, a1, 256)
+    }
+
+    /// Elapsed *physical* time over `[a0, a1]` in Gyr (for the subgrid
+    /// models). Note the `h` in the length unit: τ is per `Mpc/h`.
+    pub fn dt_gyr(&self, a0: f64, a1: f64) -> f64 {
+        self.kick_factor(a0, a1) * MPC_PER_KMS_GYR / self.params.h
+    }
+
+    /// Zel'dovich momentum from a comoving displacement field:
+    /// `p = a² H f D ψ` (so that `v_pec = a H f D ψ`).
+    pub fn zeldovich_momentum(&self, a: f64, growth: f64, growth_rate: f64, psi: f64) -> f64 {
+        a * a * self.hubble(a) * growth_rate * growth * psi
+    }
+
+    /// The adiabatic Hubble-expansion energy loss for ideal gas over one
+    /// drift: `u ∝ a⁻²` (γ = 5/3), applied multiplicatively.
+    pub fn hubble_cooling_factor(&self, a0: f64, a1: f64) -> f64 {
+        (a0 / a1) * (a0 / a1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eds_kick_analytic() {
+        // EdS: E(a) = a^{-3/2}; kick = ∫ a^{1/2} da / 100
+        //            = (2/300)(a1^{3/2} - a0^{3/2}).
+        let kd = KickDrift::new(CosmologyParams::einstein_de_sitter());
+        let (a0, a1) = (0.25f64, 1.0f64);
+        let expect = 2.0 / 300.0 * (a1f(a1) - a1f(a0));
+        fn a1f(a: f64) -> f64 {
+            a.powf(1.5)
+        }
+        let got = kd.kick_factor(a0, a1);
+        assert!((got / expect - 1.0).abs() < 1e-7, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn eds_drift_analytic() {
+        // drift = ∫ a^{-3/2} da / 100 = (2/100)(a0^{-1/2} - a1^{-1/2}).
+        let kd = KickDrift::new(CosmologyParams::einstein_de_sitter());
+        let (a0, a1) = (0.25f64, 1.0f64);
+        let expect = 2.0 / 100.0 * (1.0 / a0.sqrt() - 1.0);
+        let got = kd.drift_factor(a0, a1);
+        assert!((got / expect - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn factors_additive() {
+        let kd = KickDrift::new(CosmologyParams::planck2018());
+        let whole = kd.kick_factor(0.2, 0.6);
+        let parts = kd.kick_factor(0.2, 0.4) + kd.kick_factor(0.4, 0.6);
+        assert!((whole - parts).abs() < 1e-10);
+    }
+
+    #[test]
+    fn age_of_universe_from_dt() {
+        // Integrating from a~0 to 1 should give ~13.8 Gyr for Planck.
+        let kd = KickDrift::new(CosmologyParams::planck2018());
+        let t = kd.dt_gyr(1.0e-6, 1.0);
+        assert!((t - 13.8).abs() < 0.3, "t = {t} Gyr");
+    }
+
+    #[test]
+    fn zeldovich_momentum_scaling() {
+        // In EdS (f = 1, D = a): p = a^2 H a psi = 100 a^{3/2} psi.
+        let kd = KickDrift::new(CosmologyParams::einstein_de_sitter());
+        let a = 0.25;
+        let p = kd.zeldovich_momentum(a, a, 1.0, 2.0);
+        let expect = 100.0 * a.powf(1.5) * 2.0;
+        assert!((p / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hubble_cooling_halves_u_between_a_and_sqrt2a() {
+        let kd = KickDrift::new(CosmologyParams::planck2018());
+        let f = kd.hubble_cooling_factor(0.5, 0.5 * std::f64::consts::SQRT_2);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

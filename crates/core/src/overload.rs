@@ -1,0 +1,336 @@
+//! Particle migration and overload (ghost) exchange.
+//!
+//! CRK-HACC's key communication-avoidance device (Fig. 2, top left):
+//! rank subdomains *overlap* — every rank keeps read-only copies of all
+//! particles within an overload width of its boundary, so the entire
+//! short-range solve (tree build, SPH, gravity, subgrid, clustering
+//! analysis) is node-local for a full PM step. The overload is refreshed
+//! once per PM step with an all-to-all, and particles that drifted out of
+//! their owner's subdomain migrate at the same time.
+
+use crate::particles::{ParticleRecord, ParticleStore};
+use hacc_ranks::{CartDecomp, Comm};
+
+/// Wrap owned positions periodically into `[0, box)³`.
+pub fn wrap_positions(store: &mut ParticleStore, box_size: f64) {
+    for p in store.pos.iter_mut().take(store.n_owned) {
+        for d in 0..3 {
+            p[d] = p[d].rem_euclid(box_size);
+        }
+    }
+}
+
+/// Migrate owned particles to the ranks that own their (wrapped)
+/// positions. Ghosts are discarded. Preserves every particle exactly once
+/// globally.
+pub fn migrate(
+    comm: &mut Comm,
+    decomp: &CartDecomp,
+    store: &mut ParticleStore,
+    box_size: f64,
+) {
+    store.truncate_to_owned();
+    wrap_positions(store, box_size);
+    let mut sends: Vec<Vec<ParticleRecord>> = vec![Vec::new(); comm.size()];
+    for i in 0..store.len() {
+        let p = store.pos[i];
+        let owner = decomp.owner_of([
+            p[0] / box_size,
+            p[1] / box_size,
+            p[2] / box_size,
+        ]);
+        sends[owner].push(store.extract(i));
+    }
+    let recvd = comm.all_to_allv(sends);
+    let mut fresh = ParticleStore::new();
+    for buf in recvd {
+        for r in buf {
+            fresh.insert(r);
+        }
+    }
+    fresh.seal_owned();
+    *store = fresh;
+}
+
+/// Refresh the overload: append ghost copies of every remote (and
+/// periodic-image) particle within `width` of this rank's subdomain.
+/// Owned particles must already be wrapped and correctly homed
+/// (run [`migrate`] first). Ghost positions are shifted by the periodic
+/// image so they are spatially contiguous with the receiving domain.
+pub fn exchange_overload(
+    comm: &mut Comm,
+    decomp: &CartDecomp,
+    store: &mut ParticleStore,
+    box_size: f64,
+    width: f64,
+) {
+    store.truncate_to_owned();
+    let rank = comm.rank();
+    // Sanity: the overload cannot exceed a subdomain extent, or
+    // next-nearest neighbors would be needed.
+    for d in 0..3 {
+        let extent = box_size / decomp.dims[d] as f64;
+        assert!(
+            width <= extent + 1e-12,
+            "overload width {width} exceeds subdomain extent {extent}"
+        );
+    }
+
+    // Precompute every neighbor's subdomain in box units.
+    let subdomain = |r: usize| -> ([f64; 3], [f64; 3]) {
+        let (lo, hi) = decomp.subdomain(r);
+        (
+            [lo[0] * box_size, lo[1] * box_size, lo[2] * box_size],
+            [hi[0] * box_size, hi[1] * box_size, hi[2] * box_size],
+        )
+    };
+
+    // Candidate receivers: the (deduplicated) 27-neighborhood of this
+    // rank. Because the overload width never exceeds a subdomain extent,
+    // any rank whose extended domain contains one of our particle images
+    // is in this set.
+    let mut neighbor_ranks: Vec<usize> = Vec::with_capacity(27);
+    for dx in -1isize..=1 {
+        for dy in -1isize..=1 {
+            for dz in -1isize..=1 {
+                let nr = decomp.neighbor(rank, [dx, dy, dz]);
+                if !neighbor_ranks.contains(&nr) {
+                    neighbor_ranks.push(nr);
+                }
+            }
+        }
+    }
+    let extended: Vec<([f64; 3], [f64; 3])> = neighbor_ranks
+        .iter()
+        .map(|&nr| {
+            let (lo, hi) = subdomain(nr);
+            (
+                [lo[0] - width, lo[1] - width, lo[2] - width],
+                [hi[0] + width, hi[1] + width, hi[2] + width],
+            )
+        })
+        .collect();
+
+    let mut sends: Vec<Vec<ParticleRecord>> = vec![Vec::new(); comm.size()];
+    for i in 0..store.n_owned {
+        let p = store.pos[i];
+        // Enumerate every periodic image; ship each image to every
+        // neighbor rank whose extended domain contains it.
+        for kx in -1i64..=1 {
+            for ky in -1i64..=1 {
+                for kz in -1i64..=1 {
+                    let img = [
+                        p[0] + kx as f64 * box_size,
+                        p[1] + ky as f64 * box_size,
+                        p[2] + kz as f64 * box_size,
+                    ];
+                    let self_image = kx == 0 && ky == 0 && kz == 0;
+                    for (ni, &nr) in neighbor_ranks.iter().enumerate() {
+                        if self_image && nr == rank {
+                            continue;
+                        }
+                        let (elo, ehi) = &extended[ni];
+                        if (0..3).all(|d| img[d] >= elo[d] && img[d] < ehi[d]) {
+                            let mut rec = store.extract(i);
+                            rec.pos = img;
+                            sends[nr].push(rec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let recvd = comm.all_to_allv(sends);
+    for buf in recvd {
+        for r in buf {
+            store.insert(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particles::Species;
+    use hacc_ranks::World;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(rank: usize, n: usize, box_size: f64) -> ParticleStore {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rank as u64 + 100);
+        let mut s = ParticleStore::new();
+        for i in 0..n {
+            s.push(
+                [
+                    rng.gen_range(0.0..box_size),
+                    rng.gen_range(0.0..box_size),
+                    rng.gen_range(0.0..box_size),
+                ],
+                [0.0; 3],
+                1.0,
+                Species::DarkMatter,
+                0.0,
+                0.0,
+                (rank * n + i) as u64,
+            );
+        }
+        s.seal_owned();
+        s
+    }
+
+    #[test]
+    fn migrate_homes_every_particle() {
+        let box_size = 10.0;
+        let results = World::run(4, |comm| {
+            let decomp = CartDecomp::new(comm.size());
+            let mut store = random_store(comm.rank(), 100, box_size);
+            migrate(comm, &decomp, &mut store, box_size);
+            let (lo, hi) = decomp.subdomain(comm.rank());
+            for p in &store.pos {
+                for d in 0..3 {
+                    assert!(
+                        p[d] >= lo[d] * box_size - 1e-12 && p[d] < hi[d] * box_size + 1e-12,
+                        "particle outside domain after migrate"
+                    );
+                }
+            }
+            let ids: Vec<u64> = store.id.clone();
+            (store.len(), ids)
+        });
+        let total: usize = results.iter().map(|(n, _)| n).sum();
+        assert_eq!(total, 400);
+        let mut all_ids: Vec<u64> = results.into_iter().flat_map(|(_, ids)| ids).collect();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        assert_eq!(all_ids.len(), 400, "ids lost or duplicated");
+    }
+
+    #[test]
+    fn migrate_wraps_out_of_box_positions() {
+        let box_size = 8.0;
+        World::run(2, |comm| {
+            let decomp = CartDecomp::new(comm.size());
+            let mut s = ParticleStore::new();
+            if comm.rank() == 0 {
+                s.push([-1.0, 9.0, 4.0], [0.0; 3], 1.0, Species::Gas, 1.0, 0.1, 7);
+            }
+            s.seal_owned();
+            migrate(comm, &decomp, &mut s, box_size);
+            for p in &s.pos {
+                for d in 0..3 {
+                    assert!(p[d] >= 0.0 && p[d] < box_size);
+                }
+            }
+            let n = comm.all_reduce_sum_u64(s.len() as u64);
+            assert_eq!(n, 1);
+        });
+    }
+
+    /// Golden overload invariant: after the exchange, every rank can see
+    /// (as owned or ghost) every particle within `width` of its domain,
+    /// including periodic images, at the correctly shifted position.
+    #[test]
+    fn overload_covers_extended_domain() {
+        let box_size = 10.0;
+        let width = 2.0;
+        let n_per_rank = 60;
+        let results = World::run(4, |comm| {
+            let decomp = CartDecomp::new(comm.size());
+            let mut store = random_store(comm.rank(), n_per_rank, box_size);
+            migrate(comm, &decomp, &mut store, box_size);
+            // Capture the global particle set for brute-force checking.
+            let owned: Vec<([f64; 3], u64)> = (0..store.n_owned)
+                .map(|i| (store.pos[i], store.id[i]))
+                .collect();
+            let all: Vec<([f64; 3], u64)> = comm
+                .all_gather(owned)
+                .into_iter()
+                .flatten()
+                .collect();
+            exchange_overload(comm, &decomp, &mut store, box_size, width);
+            let (lo, hi) = decomp.subdomain(comm.rank());
+            let lo = [lo[0] * box_size, lo[1] * box_size, lo[2] * box_size];
+            let hi = [hi[0] * box_size, hi[1] * box_size, hi[2] * box_size];
+            // Brute force: every global particle image in the extended
+            // domain must be present in the local store.
+            let mut missing = 0;
+            for (p, id) in &all {
+                for kx in -1i64..=1 {
+                    for ky in -1i64..=1 {
+                        for kz in -1i64..=1 {
+                            let img = [
+                                p[0] + kx as f64 * box_size,
+                                p[1] + ky as f64 * box_size,
+                                p[2] + kz as f64 * box_size,
+                            ];
+                            let inside = (0..3).all(|d| {
+                                img[d] >= lo[d] - width && img[d] < hi[d] + width
+                            });
+                            if !inside {
+                                continue;
+                            }
+                            let found = store
+                                .pos
+                                .iter()
+                                .zip(&store.id)
+                                .any(|(q, &qid)| {
+                                    qid == *id
+                                        && (0..3).all(|d| (q[d] - img[d]).abs() < 1e-9)
+                                });
+                            if !found {
+                                missing += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            (missing, store.len() - store.n_owned)
+        });
+        for (missing, ghosts) in results {
+            assert_eq!(missing, 0, "missing overload images");
+            assert!(ghosts > 0, "no ghosts received");
+        }
+    }
+
+    #[test]
+    fn single_rank_gets_periodic_self_images() {
+        let box_size = 10.0;
+        World::run(1, |comm| {
+            let decomp = CartDecomp::new(1);
+            let mut s = ParticleStore::new();
+            s.push([0.5, 5.0, 5.0], [0.0; 3], 1.0, Species::DarkMatter, 0.0, 0.0, 1);
+            s.push([5.0, 5.0, 5.0], [0.0; 3], 1.0, Species::DarkMatter, 0.0, 0.0, 2);
+            s.seal_owned();
+            exchange_overload(comm, &decomp, &mut s, box_size, 1.0);
+            // Particle 1 near x=0: an image at x = 10.5 must appear.
+            let has_image = s
+                .pos
+                .iter()
+                .skip(s.n_owned)
+                .any(|p| (p[0] - 10.5).abs() < 1e-12);
+            assert!(has_image, "periodic self-image missing");
+            // The interior particle produces no ghosts.
+            let interior_ghosts = s
+                .id
+                .iter()
+                .skip(s.n_owned)
+                .filter(|&&id| id == 2)
+                .count();
+            assert_eq!(interior_ghosts, 0);
+        });
+    }
+
+    #[test]
+    fn ghosts_do_not_accumulate_across_refreshes() {
+        let box_size = 10.0;
+        World::run(2, |comm| {
+            let decomp = CartDecomp::new(comm.size());
+            let mut store = random_store(comm.rank(), 40, box_size);
+            migrate(comm, &decomp, &mut store, box_size);
+            exchange_overload(comm, &decomp, &mut store, box_size, 1.5);
+            let ghosts1 = store.len() - store.n_owned;
+            exchange_overload(comm, &decomp, &mut store, box_size, 1.5);
+            let ghosts2 = store.len() - store.n_owned;
+            assert_eq!(ghosts1, ghosts2, "refresh must replace, not append");
+        });
+    }
+}

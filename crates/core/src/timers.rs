@@ -1,0 +1,143 @@
+//! Accumulating named timers — the source of the Fig. 2 / Fig. 5 timing
+//! breakdowns.
+
+use std::time::Instant;
+
+/// The timed simulation phases, in the paper's Fig. 2 ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Spectral long-range solver (distributed FFTs + Green's function).
+    LongRange,
+    /// Chaining-mesh + tree construction.
+    TreeBuild,
+    /// Short-range solver (gravity + hydro + subgrid kernels).
+    ShortRange,
+    /// In-situ analysis.
+    Analysis,
+    /// Checkpoint/output I/O (blocking portion).
+    Io,
+    /// Everything else (reductions, overload exchange, bookkeeping).
+    Misc,
+}
+
+/// All phases, for iteration.
+pub const PHASES: [Phase; 6] = [
+    Phase::LongRange,
+    Phase::TreeBuild,
+    Phase::ShortRange,
+    Phase::Analysis,
+    Phase::Io,
+    Phase::Misc,
+];
+
+impl Phase {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::LongRange => "long-range",
+            Phase::TreeBuild => "tree-build",
+            Phase::ShortRange => "short-range",
+            Phase::Analysis => "analysis",
+            Phase::Io => "io",
+            Phase::Misc => "misc",
+        }
+    }
+}
+
+/// Accumulating wall-clock timers per phase.
+#[derive(Debug, Clone, Default)]
+pub struct Timers {
+    seconds: [f64; 6],
+}
+
+impl Timers {
+    /// Fresh timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(phase: Phase) -> usize {
+        PHASES.iter().position(|&p| p == phase).unwrap()
+    }
+
+    /// Time a closure under `phase`.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.seconds[Self::slot(phase)] += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Add externally measured seconds.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        self.seconds[Self::slot(phase)] += seconds;
+    }
+
+    /// Accumulated seconds of a phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[Self::slot(phase)]
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Fraction of total per phase (zero when nothing recorded).
+    pub fn fractions(&self) -> Vec<(Phase, f64)> {
+        let total = self.total();
+        PHASES
+            .iter()
+            .map(|&p| {
+                let f = if total > 0.0 {
+                    self.get(p) / total
+                } else {
+                    0.0
+                };
+                (p, f)
+            })
+            .collect()
+    }
+
+    /// Merge another set of timers (e.g. across ranks: caller reduces).
+    pub fn merge(&mut self, other: &Timers) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_fractions() {
+        let mut t = Timers::new();
+        t.add(Phase::ShortRange, 8.0);
+        t.add(Phase::LongRange, 1.0);
+        t.add(Phase::Io, 1.0);
+        assert_eq!(t.total(), 10.0);
+        let f: Vec<f64> = t.fractions().iter().map(|(_, f)| *f).collect();
+        assert!((f[2] - 0.8).abs() < 1e-12); // short-range
+        assert!((f[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = Timers::new();
+        let v = t.time(Phase::Analysis, || 42);
+        assert_eq!(v, 42);
+        assert!(t.get(Phase::Analysis) >= 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Timers::new();
+        a.add(Phase::Misc, 1.0);
+        let mut b = Timers::new();
+        b.add(Phase::Misc, 2.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Misc), 3.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Adaptive hierarchical (rung-based) timestepping.
+//!
+//! Within each global PM step of width `Δa`, particles are assigned to
+//! power-of-two rungs: rung `r` integrates with `Δa / 2^r`. The block
+//! scheme (Saitoh & Makino's FAST integrator family) advances the whole
+//! system in `2^r_max` substeps of the finest width; a rung-`r` particle
+//! is *active* (receives a force evaluation and a kick) only on substeps
+//! that are multiples of `2^(r_max - r)`.
+//!
+//! This is what makes subgrid-heavy dense regions affordable: only the
+//! deep-rung particles (a tiny clustered subset at low redshift) are
+//! touched in most substeps, and the tree supports it with active-leaf
+//! masks instead of rebuilds.
+
+/// Assign a rung from a particle's preferred `da` and the PM step `da_pm`,
+/// clamped to `max_rung`.
+pub fn rung_for(da_desired: f64, da_pm: f64, max_rung: u32) -> u32 {
+    if !da_desired.is_finite() || da_desired <= 0.0 {
+        return max_rung;
+    }
+    if da_desired >= da_pm {
+        return 0;
+    }
+    let r = (da_pm / da_desired).log2().ceil() as u32;
+    r.min(max_rung)
+}
+
+/// Is a rung-`r` particle active on substep `s` (0-based) of a block with
+/// `max_rung` levels? Active substeps for rung `r` are multiples of
+/// `2^(max_rung - r)`.
+#[inline]
+pub fn is_active(rung: u32, substep: u32, max_rung: u32) -> bool {
+    debug_assert!(rung <= max_rung);
+    let period = 1u32 << (max_rung - rung);
+    substep % period == 0
+}
+
+/// Substep width in scale factor for rung `r`.
+#[inline]
+pub fn substep_da(da_pm: f64, rung: u32) -> f64 {
+    da_pm / (1u64 << rung) as f64
+}
+
+/// Number of substeps in the block.
+#[inline]
+pub fn n_substeps(max_rung: u32) -> u32 {
+    1 << max_rung
+}
+
+/// Per-block workload statistics: how many force evaluations the rung
+/// distribution costs versus synchronized ("flat") stepping — the paper's
+/// low-z Flat comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RungStats {
+    /// Sum over substeps of active-particle counts.
+    pub adaptive_updates: u64,
+    /// `n_particles × 2^max_rung` — every particle at the deepest rung.
+    pub flat_updates: u64,
+}
+
+impl RungStats {
+    /// Compute from a rung assignment.
+    pub fn from_rungs(rungs: &[u32], max_rung: u32) -> Self {
+        let mut adaptive = 0u64;
+        for &r in rungs {
+            adaptive += 1u64 << r.min(max_rung);
+        }
+        Self {
+            adaptive_updates: adaptive,
+            flat_updates: rungs.len() as u64 * (1u64 << max_rung),
+        }
+    }
+
+    /// Speedup of adaptive over flat stepping.
+    pub fn speedup(&self) -> f64 {
+        if self.adaptive_updates == 0 {
+            return 1.0;
+        }
+        self.flat_updates as f64 / self.adaptive_updates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_assignment_brackets() {
+        let da_pm = 0.01;
+        assert_eq!(rung_for(0.02, da_pm, 6), 0); // slow particle
+        assert_eq!(rung_for(0.01, da_pm, 6), 0);
+        assert_eq!(rung_for(0.006, da_pm, 6), 1);
+        assert_eq!(rung_for(0.0024, da_pm, 6), 3); // needs da/8 > 0.00125
+        assert_eq!(rung_for(1.0e-9, da_pm, 6), 6, "clamped to max");
+        assert_eq!(rung_for(f64::NAN, da_pm, 6), 6);
+        assert_eq!(rung_for(0.0, da_pm, 6), 6);
+    }
+
+    #[test]
+    fn rung_step_never_exceeds_desired() {
+        // The assigned rung's substep must be <= the desired da
+        // (unless clamped at max_rung).
+        let da_pm = 0.02;
+        for i in 1..100 {
+            let desired = da_pm * i as f64 / 50.0;
+            let r = rung_for(desired, da_pm, 10);
+            if r < 10 {
+                assert!(
+                    substep_da(da_pm, r) <= desired * (1.0 + 1e-12),
+                    "desired {desired}, rung {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activity_pattern() {
+        let max = 3; // 8 substeps
+        // Rung 0: only substep 0.
+        let active0: Vec<u32> = (0..8).filter(|&s| is_active(0, s, max)).collect();
+        assert_eq!(active0, vec![0]);
+        // Rung 3: every substep.
+        let active3: Vec<u32> = (0..8).filter(|&s| is_active(3, s, max)).collect();
+        assert_eq!(active3, (0..8).collect::<Vec<_>>());
+        // Rung 2: every other substep.
+        let active2: Vec<u32> = (0..8).filter(|&s| is_active(2, s, max)).collect();
+        assert_eq!(active2, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn activity_counts_match_rung_width() {
+        // Over a block, rung r is active exactly 2^r times.
+        let max = 4;
+        for r in 0..=max {
+            let n = (0..n_substeps(max)).filter(|&s| is_active(r, s, max)).count();
+            assert_eq!(n, 1 << r);
+        }
+    }
+
+    #[test]
+    fn substep_widths_sum_to_pm_step() {
+        let da_pm = 0.01;
+        for r in 0..6 {
+            let total = substep_da(da_pm, r) * (1u64 << r) as f64;
+            assert!((total - da_pm).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn adaptive_speedup_for_clustered_workload() {
+        // 90% of particles on rung 0, 10% deep (rung 5): adaptive wins.
+        let mut rungs = vec![0u32; 900];
+        rungs.extend(vec![5u32; 100]);
+        let stats = RungStats::from_rungs(&rungs, 5);
+        assert_eq!(stats.adaptive_updates, 900 + 100 * 32);
+        assert_eq!(stats.flat_updates, 1000 * 32);
+        assert!(stats.speedup() > 7.0, "speedup {}", stats.speedup());
+    }
+
+    #[test]
+    fn flat_workload_no_speedup() {
+        let rungs = vec![4u32; 100];
+        let stats = RungStats::from_rungs(&rungs, 4);
+        assert!((stats.speedup() - 1.0).abs() < 1e-12);
+    }
+}

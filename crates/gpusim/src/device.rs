@@ -1,0 +1,145 @@
+//! The GPU device catalog: the three architectures of the paper's Table I.
+
+/// GPU vendor, which fixes the warp width (the paper follows Nvidia
+/// nomenclature: 32 lanes on Nvidia and Intel, 64 on AMD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// AMD Instinct series (wavefront width 64).
+    Amd,
+    /// Intel Data Center GPU Max series (sub-group width 32 here).
+    Intel,
+    /// Nvidia datacenter GPUs (warp width 32).
+    Nvidia,
+}
+
+/// Specification of one schedulable GPU unit — a GCD for MI250X, a tile
+/// for PVC, a full device for H100 — matching how Frontier-E assigned one
+/// MPI rank per GCD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Vendor (fixes warp width).
+    pub vendor: Vendor,
+    /// Lanes per warp.
+    pub warp_width: usize,
+    /// Peak unpacked FP32 vector throughput in TFLOPs (Table I).
+    pub peak_tflops_fp32: f64,
+    /// HBM capacity in GB.
+    pub hbm_gb: f64,
+    /// HBM bandwidth in GB/s (per schedulable unit).
+    pub hbm_bw_gbs: f64,
+    /// Per-lane register budget at full occupancy; kernels using more
+    /// registers per lane lose occupancy proportionally. This is the
+    /// mechanism by which warp splitting (which reduces register
+    /// pressure) buys performance.
+    pub regs_full_occupancy: usize,
+    /// Hard per-lane register file limit.
+    pub regs_max: usize,
+}
+
+impl DeviceSpec {
+    /// One Graphics Compute Die of the AMD Instinct MI250X
+    /// (Frontier: 23.9 TFLOPs FP32, 64 GB HBM2e).
+    pub const fn mi250x_gcd() -> Self {
+        Self {
+            name: "AMD MI250X (per GCD)",
+            vendor: Vendor::Amd,
+            warp_width: 64,
+            peak_tflops_fp32: 23.9,
+            hbm_gb: 64.0,
+            hbm_bw_gbs: 1638.0,
+            regs_full_occupancy: 64,
+            regs_max: 256,
+        }
+    }
+
+    /// One tile of the Intel Data Center GPU Max 1550 "Ponte Vecchio"
+    /// (Aurora: 22.5 TFLOPs FP32, 64 GB HBM2e).
+    pub const fn pvc_tile() -> Self {
+        Self {
+            name: "Intel Max 1550 (per tile)",
+            vendor: Vendor::Intel,
+            warp_width: 32,
+            peak_tflops_fp32: 22.5,
+            hbm_gb: 64.0,
+            hbm_bw_gbs: 1600.0,
+            regs_full_occupancy: 64,
+            regs_max: 256,
+        }
+    }
+
+    /// Nvidia H100 SXM5 (JLSE testbed: 66.9 TFLOPs FP32, 80 GB HBM3).
+    pub const fn h100() -> Self {
+        Self {
+            name: "NVIDIA SXM5 H100",
+            vendor: Vendor::Nvidia,
+            warp_width: 32,
+            peak_tflops_fp32: 66.9,
+            hbm_gb: 80.0,
+            hbm_bw_gbs: 3350.0,
+            regs_full_occupancy: 64,
+            regs_max: 255,
+        }
+    }
+
+    /// The full catalog, in the paper's Table I order.
+    pub fn catalog() -> [DeviceSpec; 3] {
+        [Self::mi250x_gcd(), Self::pvc_tile(), Self::h100()]
+    }
+
+    /// Peak rate in FLOPs/second.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops_fp32 * 1.0e12
+    }
+
+    /// Half the warp width — the tile size of split kernels.
+    pub fn half_warp(&self) -> usize {
+        self.warp_width / 2
+    }
+}
+
+/// Frontier system-scale constants used for machine-level extrapolation.
+pub mod frontier {
+    use super::DeviceSpec;
+
+    /// Nodes used by the Frontier-E campaign (>95% of the machine).
+    pub const NODES: usize = 9_000;
+    /// MPI ranks (GCDs) per node.
+    pub const RANKS_PER_NODE: usize = 8;
+    /// Theoretical FP32 peak of the 9,000-node partition, in PFLOPs.
+    pub fn partition_peak_pflops() -> f64 {
+        (NODES * RANKS_PER_NODE) as f64 * DeviceSpec::mi250x_gcd().peak_tflops_fp32 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_peak_rates() {
+        // These are the published Table I values; they must not drift.
+        assert_eq!(DeviceSpec::mi250x_gcd().peak_tflops_fp32, 23.9);
+        assert_eq!(DeviceSpec::pvc_tile().peak_tflops_fp32, 22.5);
+        assert_eq!(DeviceSpec::h100().peak_tflops_fp32, 66.9);
+    }
+
+    #[test]
+    fn warp_widths_follow_vendors() {
+        for d in DeviceSpec::catalog() {
+            match d.vendor {
+                Vendor::Amd => assert_eq!(d.warp_width, 64),
+                Vendor::Intel | Vendor::Nvidia => assert_eq!(d.warp_width, 32),
+            }
+            assert_eq!(d.half_warp() * 2, d.warp_width);
+        }
+    }
+
+    #[test]
+    fn frontier_partition_peak_matches_paper() {
+        // Paper: 9,000 nodes yield a theoretical max of 1.720 EFLOPs FP32.
+        let peak_eflops = frontier::partition_peak_pflops() / 1000.0;
+        assert!((peak_eflops - 1.7208).abs() < 1e-3, "{peak_eflops}");
+    }
+}

@@ -1,0 +1,421 @@
+//! The leaf-pair kernel executor: Algorithm 1 of the paper in software.
+//!
+//! A kernel is expressed in the separable form of Eq. (2):
+//! per-particle *partials* `f_i(alpha_i, ...)` plus a per-pair *combine*
+//! `phi_ij = f_i * g_j * h_ij`. The executor evaluates the physics the
+//! same way in both modes — so results are bit-identical — but models the
+//! hardware cost differently:
+//!
+//! * **Naive** (gather) mode: one lane per i-particle; every lane loads
+//!   each j-state from global memory and recomputes the j-partial, holding
+//!   both full states in registers. Symmetric kernels need a second
+//!   launch for the j-side.
+//! * **WarpSplit** mode: half the warp holds i-particles, half holds
+//!   j-particles; states are loaded once (coalesced), partials are
+//!   computed once per lane and exchanged via register shuffles; both
+//!   sides accumulate in one launch and flush with one leaf-level atomic
+//!   per lane.
+
+use crate::counters::{KernelCounters, PairFlops};
+use crate::device::DeviceSpec;
+
+/// Execution strategy for the interaction kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One-lane-per-i gather kernel (the pre-optimization baseline).
+    Naive,
+    /// The paper's warp-splitting kernel (Algorithm 1).
+    WarpSplit,
+}
+
+/// A separable pairwise interaction kernel (Eq. 2 of the paper).
+pub trait SplitKernel: Sync {
+    /// Per-particle input state.
+    type State: Copy + Send + Sync;
+    /// The shared partial term (`f_i` / `g_j`) exchanged between lanes.
+    type Partial: Copy + Send + Sync;
+    /// Per-particle accumulator (`phi_i`).
+    type Accum: Copy + Default + Send;
+
+    /// Kernel name for profiles.
+    fn name(&self) -> &'static str;
+
+    /// f32 words per particle state (global-memory footprint).
+    fn state_words(&self) -> u64;
+    /// f32 words per partial (shuffle payload).
+    fn partial_words(&self) -> u64;
+    /// f32 words per accumulator (atomic flush payload).
+    fn accum_words(&self) -> u64;
+
+    /// Cost of one partial evaluation.
+    fn partial_flops(&self) -> PairFlops;
+    /// Cost of one pair combine.
+    fn pair_flops(&self) -> PairFlops;
+
+    /// Compute the shared partial for one particle.
+    fn partial(&self, s: &Self::State) -> Self::Partial;
+
+    /// Accumulate the contribution of `j` onto `i`'s accumulator.
+    fn interact(
+        &self,
+        si: &Self::State,
+        pi: &Self::Partial,
+        sj: &Self::State,
+        pj: &Self::Partial,
+        out: &mut Self::Accum,
+    );
+}
+
+/// Scratch registers every kernel needs (loop counters, addresses...).
+const SCRATCH_REGS: u64 = 8;
+
+/// Per-lane register usage of the two formulations. Warp splitting holds
+/// one state + two partials + the partner's position-sized slice; the
+/// naive kernel holds both full states and both partials.
+pub fn register_usage<K: SplitKernel>(k: &K, mode: ExecMode) -> u64 {
+    match mode {
+        ExecMode::Naive => 2 * k.state_words() + 2 * k.partial_words() + k.accum_words() + SCRATCH_REGS,
+        ExecMode::WarpSplit => {
+            k.state_words() + 2 * k.partial_words() + k.accum_words() + SCRATCH_REGS
+        }
+    }
+}
+
+/// Execute the interactions between two *distinct* leaves, updating both
+/// sides (the symmetric kernels of the paper). Physics is mode-independent;
+/// counters model the chosen formulation on `dev`.
+pub fn execute_leaf_pair<K: SplitKernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    mode: ExecMode,
+    states_i: &[K::State],
+    states_j: &[K::State],
+    accum_i: &mut [K::Accum],
+    accum_j: &mut [K::Accum],
+    counters: &mut KernelCounters,
+) {
+    assert_eq!(states_i.len(), accum_i.len());
+    assert_eq!(states_j.len(), accum_j.len());
+    if states_i.is_empty() || states_j.is_empty() {
+        return;
+    }
+    // --- physics (identical in both modes) ---
+    let partials_i: Vec<K::Partial> = states_i.iter().map(|s| kernel.partial(s)).collect();
+    let partials_j: Vec<K::Partial> = states_j.iter().map(|s| kernel.partial(s)).collect();
+    for (i, (si, pi)) in states_i.iter().zip(&partials_i).enumerate() {
+        for (j, (sj, pj)) in states_j.iter().zip(&partials_j).enumerate() {
+            kernel.interact(si, pi, sj, pj, &mut accum_i[i]);
+            kernel.interact(sj, pj, si, pi, &mut accum_j[j]);
+        }
+    }
+    // --- cost model ---
+    count_pair(kernel, dev, mode, states_i.len(), states_j.len(), false, counters);
+}
+
+/// Execute the self-interactions of a single leaf (all ordered pairs with
+/// `i != j`).
+pub fn execute_leaf_self<K: SplitKernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    mode: ExecMode,
+    states: &[K::State],
+    accum: &mut [K::Accum],
+    counters: &mut KernelCounters,
+) {
+    assert_eq!(states.len(), accum.len());
+    if states.len() < 2 {
+        return;
+    }
+    let partials: Vec<K::Partial> = states.iter().map(|s| kernel.partial(s)).collect();
+    for i in 0..states.len() {
+        for j in 0..states.len() {
+            if i == j {
+                continue;
+            }
+            let (si, pi) = (&states[i], &partials[i]);
+            let (sj, pj) = (&states[j], &partials[j]);
+            kernel.interact(si, pi, sj, pj, &mut accum[i]);
+        }
+    }
+    count_pair(kernel, dev, mode, states.len(), states.len(), true, counters);
+}
+
+/// Model the launch cost of an `ni x nj` leaf-pair interaction.
+fn count_pair<K: SplitKernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    mode: ExecMode,
+    ni: usize,
+    nj: usize,
+    self_pair: bool,
+    counters: &mut KernelCounters,
+) {
+    let (ni, nj) = (ni as u64, nj as u64);
+    let state_w = kernel.state_words();
+    let partial_w = kernel.partial_words();
+    let accum_w = kernel.accum_words();
+    let pf = kernel.partial_flops();
+    let cf = kernel.pair_flops();
+    // Unordered unique pairs evaluated once (symmetric kernels share the
+    // pair term between both lanes).
+    let useful_pairs = if self_pair { ni * (ni - 1) / 2 } else { ni * nj };
+    counters.pairs += useful_pairs;
+    counters.max_registers = counters.max_registers.max(register_usage(kernel, mode));
+
+    match mode {
+        ExecMode::WarpSplit => {
+            let hw = dev.half_warp() as u64;
+            let tiles_i = ni.div_ceil(hw);
+            let tiles_j = nj.div_ceil(hw);
+            let mut issued_pairs = 0u64;
+            for ti in 0..tiles_i {
+                let li = (ni - ti * hw).min(hw);
+                // A self-leaf launch skips mirrored tile pairs.
+                let tj0 = if self_pair { ti } else { 0 };
+                for tj in tj0..tiles_j {
+                    let lj = (nj - tj * hw).min(hw);
+                    counters.warps += 1;
+                    // Two coalesced state loads.
+                    counters.global_reads += (li + lj) * state_w;
+                    // Partials once per lane.
+                    counters.flops += pf.total() * (li + lj);
+                    // hw shuffle rounds exchanging position+partial words.
+                    counters.shuffles +=
+                        hw * (li + lj) * (partial_w + 3);
+                    // Issue slots: full half-warp x half-warp tile.
+                    issued_pairs += hw * hw;
+                    // Leaf-level atomic flush.
+                    counters.atomics += li + lj;
+                    counters.global_writes += (li + lj) * accum_w;
+                }
+            }
+            counters.flops += cf.total() * useful_pairs;
+            counters.masked_lane_flops +=
+                cf.total() * issued_pairs.saturating_sub(useful_pairs);
+        }
+        ExecMode::Naive => {
+            // Gather formulation: launch for the i side, and (symmetric
+            // kernels) a second launch for the j side.
+            let w = dev.warp_width as u64;
+            let mut side = |na: u64, nb: u64| {
+                let tiles = na.div_ceil(w);
+                for t in 0..tiles {
+                    let lanes = (na - t * w).min(w);
+                    counters.warps += 1;
+                    // i-state loads once, j-state loads per iteration per
+                    // lane (uncoalesced gather).
+                    counters.global_reads += lanes * state_w;
+                    counters.global_reads += lanes * nb * state_w;
+                    // Own partial once; partner partial recomputed per pair.
+                    counters.flops += pf.total() * lanes;
+                    counters.flops += pf.total() * lanes * nb;
+                    // Pair combine per (lane, j).
+                    let pairs_here = lanes * nb;
+                    counters.flops += cf.total() * pairs_here;
+                    counters.masked_lane_flops += cf.total() * (w - lanes) * nb;
+                    counters.global_writes += lanes * accum_w;
+                }
+            };
+            side(ni, nj);
+            if !self_pair {
+                side(nj, ni);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A gravity-flavored test kernel: phi_i += m_j / (|r_i - r_j|^2 + eps).
+    struct TestKernel;
+
+    #[derive(Clone, Copy)]
+    struct State {
+        pos: [f32; 3],
+        mass: f32,
+    }
+
+    impl SplitKernel for TestKernel {
+        type State = State;
+        type Partial = f32; // "g_j" = mass scaled by a constant
+        type Accum = f64;
+
+        fn name(&self) -> &'static str {
+            "test-gravity"
+        }
+        fn state_words(&self) -> u64 {
+            4
+        }
+        fn partial_words(&self) -> u64 {
+            1
+        }
+        fn accum_words(&self) -> u64 {
+            1
+        }
+        fn partial_flops(&self) -> PairFlops {
+            PairFlops {
+                muls: 1,
+                ..Default::default()
+            }
+        }
+        fn pair_flops(&self) -> PairFlops {
+            PairFlops {
+                adds: 3,
+                fmas: 3,
+                muls: 1,
+                trans: 0,
+            }
+        }
+        fn partial(&self, s: &State) -> f32 {
+            2.0 * s.mass
+        }
+        fn interact(&self, si: &State, _pi: &f32, sj: &State, pj: &f32, out: &mut f64) {
+            let dx = si.pos[0] - sj.pos[0];
+            let dy = si.pos[1] - sj.pos[1];
+            let dz = si.pos[2] - sj.pos[2];
+            let r2 = dx * dx + dy * dy + dz * dz + 1e-3;
+            *out += (*pj / r2) as f64;
+        }
+    }
+
+    fn make_states(n: usize, offset: f32) -> Vec<State> {
+        (0..n)
+            .map(|i| State {
+                pos: [i as f32 * 0.1 + offset, offset, 0.0],
+                mass: 1.0 + i as f32 * 0.01,
+            })
+            .collect()
+    }
+
+    fn run(mode: ExecMode, ni: usize, nj: usize) -> (Vec<f64>, Vec<f64>, KernelCounters) {
+        let dev = DeviceSpec::mi250x_gcd();
+        let si = make_states(ni, 0.0);
+        let sj = make_states(nj, 5.0);
+        let mut ai = vec![0.0; ni];
+        let mut aj = vec![0.0; nj];
+        let mut c = KernelCounters::default();
+        execute_leaf_pair(&TestKernel, &dev, mode, &si, &sj, &mut ai, &mut aj, &mut c);
+        (ai, aj, c)
+    }
+
+    #[test]
+    fn modes_produce_identical_physics() {
+        let (ai_n, aj_n, _) = run(ExecMode::Naive, 100, 73);
+        let (ai_s, aj_s, _) = run(ExecMode::WarpSplit, 100, 73);
+        assert_eq!(ai_n, ai_s);
+        assert_eq!(aj_n, aj_s);
+    }
+
+    #[test]
+    fn split_reduces_registers() {
+        let n = register_usage(&TestKernel, ExecMode::Naive);
+        let s = register_usage(&TestKernel, ExecMode::WarpSplit);
+        assert!(s < n, "split {s} !< naive {n}");
+    }
+
+    #[test]
+    fn split_reduces_global_traffic() {
+        let (_, _, cn) = run(ExecMode::Naive, 128, 128);
+        let (_, _, cs) = run(ExecMode::WarpSplit, 128, 128);
+        assert!(
+            cs.global_bytes() < cn.global_bytes() / 10,
+            "split {} vs naive {}",
+            cs.global_bytes(),
+            cn.global_bytes()
+        );
+    }
+
+    #[test]
+    fn split_uses_shuffles_naive_does_not() {
+        let (_, _, cn) = run(ExecMode::Naive, 64, 64);
+        let (_, _, cs) = run(ExecMode::WarpSplit, 64, 64);
+        assert_eq!(cn.shuffles, 0);
+        assert!(cs.shuffles > 0);
+    }
+
+    #[test]
+    fn split_counts_fewer_flops_for_symmetric_kernels() {
+        // Naive gather evaluates each pair from both sides and recomputes
+        // partner partials; split shares them.
+        let (_, _, cn) = run(ExecMode::Naive, 128, 128);
+        let (_, _, cs) = run(ExecMode::WarpSplit, 128, 128);
+        assert!(cs.flops < cn.flops);
+    }
+
+    #[test]
+    fn full_tiles_have_no_masked_pair_flops() {
+        // ni, nj multiples of the half warp (32 on AMD): no masking.
+        let (_, _, cs) = run(ExecMode::WarpSplit, 64, 96);
+        assert_eq!(cs.masked_lane_flops, 0);
+        // Ragged tiles waste issue slots.
+        let (_, _, cr) = run(ExecMode::WarpSplit, 65, 96);
+        assert!(cr.masked_lane_flops > 0);
+    }
+
+    #[test]
+    fn self_pair_counts_unordered_pairs() {
+        let dev = DeviceSpec::h100();
+        let s = make_states(50, 0.0);
+        let mut a = vec![0.0; 50];
+        let mut c = KernelCounters::default();
+        execute_leaf_self(&TestKernel, &dev, ExecMode::WarpSplit, &s, &mut a, &mut c);
+        assert_eq!(c.pairs, 50 * 49 / 2);
+    }
+
+    #[test]
+    fn self_pair_physics_excludes_diagonal() {
+        let dev = DeviceSpec::h100();
+        let s = make_states(10, 0.0);
+        let mut a = vec![0.0; 10];
+        let mut c = KernelCounters::default();
+        execute_leaf_self(&TestKernel, &dev, ExecMode::Naive, &s, &mut a, &mut c);
+        // Each particle got exactly 9 contributions; all finite and
+        // bounded (no self-interaction 1/eps blowup of ~2000).
+        for &v in &a {
+            assert!(v.is_finite() && v < 1000.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn empty_leaves_are_noops() {
+        let dev = DeviceSpec::pvc_tile();
+        let s = make_states(5, 0.0);
+        let e: Vec<State> = Vec::new();
+        let mut a = vec![0.0; 5];
+        let mut ae: Vec<f64> = Vec::new();
+        let mut c = KernelCounters::default();
+        execute_leaf_pair(&TestKernel, &dev, ExecMode::WarpSplit, &s, &e, &mut a, &mut ae, &mut c);
+        assert_eq!(c.pairs, 0);
+        assert!(a.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn warp_width_affects_warp_count() {
+        let s64 = {
+            let dev = DeviceSpec::mi250x_gcd(); // warp 64
+            let si = make_states(64, 0.0);
+            let sj = make_states(64, 5.0);
+            let mut ai = vec![0.0; 64];
+            let mut aj = vec![0.0; 64];
+            let mut c = KernelCounters::default();
+            execute_leaf_pair(&TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c);
+            c.warps
+        };
+        let s32 = {
+            let dev = DeviceSpec::h100(); // warp 32
+            let si = make_states(64, 0.0);
+            let sj = make_states(64, 5.0);
+            let mut ai = vec![0.0; 64];
+            let mut aj = vec![0.0; 64];
+            let mut c = KernelCounters::default();
+            execute_leaf_pair(&TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c);
+            c.warps
+        };
+        // 64x64 on AMD: 2x2 half-warp(32) tiles = 4 warps.
+        // On Nvidia: 4x4 half-warp(16) tiles = 16 warps.
+        assert_eq!(s64, 4);
+        assert_eq!(s32, 16);
+    }
+}

@@ -1,0 +1,255 @@
+//! Roofline-style device timing and utilization model.
+//!
+//! Converts [`KernelCounters`] into a modeled execution time on a
+//! [`DeviceSpec`], from which device utilization — the quantity of the
+//! paper's Fig. 6 — follows as `useful FLOPs / (time × peak FLOPs)`.
+//!
+//! The model captures the effects the paper discusses:
+//!
+//! * **Issue pressure**: every useful FLOP is accompanied by address
+//!   arithmetic, predication, and loop control that share the issue pipes;
+//!   [`ISSUE_OVERHEAD_PER_FLOP`] models that mix and sets the practical
+//!   utilization ceiling (the paper's best kernels sit near 33%, far from
+//!   nominal peak, for exactly this reason).
+//! * **Lane masking**: ragged leaf tiles issue masked lanes that consume
+//!   slots without useful work (high-z leaves are emptier → lower
+//!   utilization; clustered low-z leaves fill tiles → higher utilization,
+//!   the trend of Fig. 6 right).
+//! * **Register-pressure occupancy**: kernels using more than the
+//!   full-occupancy register budget lose latency-hiding ability
+//!   proportionally — the mechanism that makes naive kernels slower than
+//!   warp-split ones.
+//! * **Memory roofline**: global traffic bounded by HBM bandwidth; the
+//!   naive gather formulation is memory-bound, warp-split is not.
+
+use crate::counters::KernelCounters;
+use crate::device::DeviceSpec;
+
+/// Non-FP issue slots consumed per useful FLOP (integer ops, control flow,
+/// address math, predication). Calibrated so a fully dense warp-split
+/// CRKSPH-like kernel peaks near the paper's 33–34% device utilization.
+pub const ISSUE_OVERHEAD_PER_FLOP: f64 = 1.8;
+
+/// Issue slots consumed by one warp shuffle word.
+pub const SHUFFLE_ISSUE_COST: f64 = 1.0;
+
+/// Issue slots consumed by one global atomic.
+pub const ATOMIC_ISSUE_COST: f64 = 32.0;
+
+/// Fixed per-warp launch/scheduling overhead in issue slots.
+pub const WARP_SCHED_COST: f64 = 64.0;
+
+/// The execution model for one device.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionModel {
+    /// The device being modeled.
+    pub device: DeviceSpec,
+}
+
+impl ExecutionModel {
+    /// Model for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { device }
+    }
+
+    /// Occupancy factor from register pressure: 1.0 at or below the
+    /// full-occupancy budget, decreasing proportionally above it.
+    pub fn occupancy(&self, max_registers: u64) -> f64 {
+        if max_registers == 0 {
+            return 1.0;
+        }
+        (self.device.regs_full_occupancy as f64 / max_registers as f64).min(1.0)
+    }
+
+    /// Modeled kernel time in seconds for accumulated counters.
+    pub fn kernel_time_s(&self, c: &KernelCounters) -> f64 {
+        let peak_ops = self.device.peak_flops();
+        let issue_slots = c.issued_flops() as f64 * (1.0 + ISSUE_OVERHEAD_PER_FLOP)
+            + c.shuffles as f64 * SHUFFLE_ISSUE_COST
+            + c.atomics as f64 * ATOMIC_ISSUE_COST
+            + c.warps as f64 * WARP_SCHED_COST;
+        let t_issue = issue_slots / (peak_ops * self.occupancy(c.max_registers));
+        let t_mem = c.global_bytes() as f64 / (self.device.hbm_bw_gbs * 1.0e9);
+        t_issue.max(t_mem)
+    }
+
+    /// Device utilization: achieved / peak FP32 throughput (Fig. 6's
+    /// y-axis).
+    pub fn utilization(&self, c: &KernelCounters) -> f64 {
+        let t = self.kernel_time_s(c);
+        if t == 0.0 {
+            return 0.0;
+        }
+        c.flops as f64 / (t * self.device.peak_flops())
+    }
+
+    /// Achieved throughput in TFLOPs.
+    pub fn achieved_tflops(&self, c: &KernelCounters) -> f64 {
+        self.utilization(&c.clone()) * self.device.peak_tflops_fp32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PairFlops;
+    use crate::device::DeviceSpec;
+    use crate::exec::{execute_leaf_pair, ExecMode, SplitKernel};
+
+    /// A CRKSPH-correction-flavored kernel: heavy per-pair math, modest
+    /// state. Mirrors the paper's peak-FLOP kernel (the high-order SPH
+    /// correction-coefficient computation).
+    struct CrkLikeKernel;
+
+    #[derive(Clone, Copy)]
+    struct S {
+        pos: [f32; 3],
+        h: f32,
+    }
+
+    impl SplitKernel for CrkLikeKernel {
+        type State = S;
+        type Partial = f32;
+        type Accum = [f64; 4];
+        fn name(&self) -> &'static str {
+            "crk-correction"
+        }
+        fn state_words(&self) -> u64 {
+            12
+        }
+        fn partial_words(&self) -> u64 {
+            4
+        }
+        fn accum_words(&self) -> u64 {
+            10
+        }
+        fn partial_flops(&self) -> PairFlops {
+            PairFlops {
+                muls: 6,
+                adds: 2,
+                fmas: 2,
+                trans: 1,
+            }
+        }
+        fn pair_flops(&self) -> PairFlops {
+            // ~120 ops/pair, similar to a corrected-kernel moment update.
+            PairFlops {
+                adds: 20,
+                muls: 25,
+                fmas: 35,
+                trans: 3,
+            }
+        }
+        fn partial(&self, s: &S) -> f32 {
+            1.0 / (s.h * s.h)
+        }
+        fn interact(&self, si: &S, pi: &f32, sj: &S, _pj: &f32, out: &mut [f64; 4]) {
+            let dx = si.pos[0] - sj.pos[0];
+            out[0] += (dx * *pi) as f64;
+            out[1] += (dx * dx) as f64;
+            out[2] += 1.0;
+            out[3] += (si.h + sj.h) as f64;
+        }
+    }
+
+    fn counters(mode: ExecMode, dev: &DeviceSpec, n: usize) -> crate::KernelCounters {
+        let make = |off: f32| -> Vec<S> {
+            (0..n)
+                .map(|i| S {
+                    pos: [i as f32, off, 0.0],
+                    h: 1.0,
+                })
+                .collect()
+        };
+        let si = make(0.0);
+        let sj = make(3.0);
+        let mut ai = vec![[0.0; 4]; n];
+        let mut aj = vec![[0.0; 4]; n];
+        let mut c = crate::KernelCounters::default();
+        execute_leaf_pair(&CrkLikeKernel, dev, mode, &si, &sj, &mut ai, &mut aj, &mut c);
+        c
+    }
+
+    #[test]
+    fn dense_split_kernel_utilization_in_paper_band() {
+        // The paper's peak kernel reaches ~33% of FP32 peak. Our model
+        // should land a dense warp-split launch in the 25–40% band.
+        let dev = DeviceSpec::mi250x_gcd();
+        let model = ExecutionModel::new(dev);
+        let c = counters(ExecMode::WarpSplit, &dev, 256);
+        let u = model.utilization(&c);
+        assert!(u > 0.25 && u < 0.40, "utilization {u}");
+    }
+
+    #[test]
+    fn split_outperforms_naive() {
+        let dev = DeviceSpec::mi250x_gcd();
+        let model = ExecutionModel::new(dev);
+        let cs = counters(ExecMode::WarpSplit, &dev, 256);
+        let cn = counters(ExecMode::Naive, &dev, 256);
+        let ts = model.kernel_time_s(&cs);
+        let tn = model.kernel_time_s(&cn);
+        assert!(
+            tn > 1.5 * ts,
+            "naive {tn:.3e}s should be much slower than split {ts:.3e}s"
+        );
+        assert!(model.utilization(&cs) > model.utilization(&cn));
+    }
+
+    #[test]
+    fn ragged_tiles_lower_utilization() {
+        let dev = DeviceSpec::mi250x_gcd();
+        let model = ExecutionModel::new(dev);
+        let dense = model.utilization(&counters(ExecMode::WarpSplit, &dev, 256));
+        // 40 particles per leaf: badly ragged 32-lane half-warp tiles.
+        let sparse = model.utilization(&counters(ExecMode::WarpSplit, &dev, 40));
+        assert!(
+            sparse < dense,
+            "sparse {sparse} should be below dense {dense}"
+        );
+    }
+
+    #[test]
+    fn occupancy_clamps_at_one() {
+        let model = ExecutionModel::new(DeviceSpec::h100());
+        assert_eq!(model.occupancy(10), 1.0);
+        assert_eq!(model.occupancy(0), 1.0);
+        assert!((model.occupancy(128) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_consistent_across_vendors() {
+        // The paper's Fig. 6 left: sustained utilization is similar on all
+        // three vendors. Our model inherits that because the kernel mix is
+        // identical; only warp width and peak differ.
+        let us: Vec<f64> = DeviceSpec::catalog()
+            .iter()
+            .map(|d| {
+                let model = ExecutionModel::new(*d);
+                model.utilization(&counters(ExecMode::WarpSplit, d, 256))
+            })
+            .collect();
+        let max = us.iter().cloned().fold(0.0, f64::max);
+        let min = us.iter().cloned().fold(1.0, f64::min);
+        assert!(max - min < 0.10, "vendor spread too wide: {us:?}");
+    }
+
+    #[test]
+    fn time_scales_linearly_with_work() {
+        let dev = DeviceSpec::h100();
+        let model = ExecutionModel::new(dev);
+        let c1 = counters(ExecMode::WarpSplit, &dev, 128);
+        let mut c2 = c1.clone();
+        c2.merge(&c1);
+        let t1 = model.kernel_time_s(&c1);
+        let t2 = model.kernel_time_s(&c2);
+        assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_counters_zero_utilization() {
+        let model = ExecutionModel::new(DeviceSpec::pvc_tile());
+        let c = crate::KernelCounters::default();
+        assert_eq!(model.utilization(&c), 0.0);
+    }
+}

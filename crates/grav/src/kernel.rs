@@ -1,0 +1,162 @@
+//! The short-range gravity pair kernel.
+
+use crate::split::ForceSplitTable;
+use hacc_gpusim::{PairFlops, SplitKernel};
+
+/// Per-particle state of the gravity kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct GravState {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+/// Accumulated acceleration (`G = 1` internally; scale by `G` downstream).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GravAccum {
+    /// Acceleration components.
+    pub acc: [f64; 3],
+}
+
+/// `a_i += -m_j g(r) (r_i - r_j)` with the tabulated split factor `g`.
+#[derive(Debug, Clone)]
+pub struct GravityKernel {
+    /// The splitting/softening table.
+    pub table: ForceSplitTable,
+}
+
+impl SplitKernel for GravityKernel {
+    type State = GravState;
+    type Partial = ();
+    type Accum = GravAccum;
+
+    fn name(&self) -> &'static str {
+        "grav_short_range"
+    }
+    fn state_words(&self) -> u64 {
+        4
+    }
+    fn partial_words(&self) -> u64 {
+        1 // shuffle payload: partner mass
+    }
+    fn accum_words(&self) -> u64 {
+        3
+    }
+    fn partial_flops(&self) -> PairFlops {
+        PairFlops::default()
+    }
+    fn pair_flops(&self) -> PairFlops {
+        // dr (3 add), r2 (3 fma), table lookup (1 mul 1 add 1 fma),
+        // scale+accumulate (1 mul + 3 fma).
+        PairFlops {
+            adds: 4,
+            muls: 2,
+            fmas: 7,
+            trans: 0,
+        }
+    }
+    fn partial(&self, _s: &GravState) {}
+
+    #[inline]
+    fn interact(&self, si: &GravState, _: &(), sj: &GravState, _: &(), out: &mut GravAccum) {
+        let dx = si.pos[0] - sj.pos[0];
+        let dy = si.pos[1] - sj.pos[1];
+        let dz = si.pos[2] - sj.pos[2];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let g = self.table.eval_r2(r2);
+        if g != 0.0 {
+            let s = sj.mass * g;
+            out.acc[0] -= s * dx;
+            out.acc[1] -= s * dy;
+            out.acc[2] -= s * dz;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> GravityKernel {
+        GravityKernel {
+            table: ForceSplitTable::new(1.0, 0.0, 8192),
+        }
+    }
+
+    #[test]
+    fn attraction_along_separation() {
+        let k = kernel();
+        let a = GravState {
+            pos: [0.0; 3],
+            mass: 1.0,
+        };
+        let b = GravState {
+            pos: [2.0, 0.0, 0.0],
+            mass: 3.0,
+        };
+        let mut acc = GravAccum::default();
+        k.interact(&a, &(), &b, &(), &mut acc);
+        assert!(acc.acc[0] > 0.0, "a should be pulled toward b (+x)");
+        assert_eq!(acc.acc[1], 0.0);
+        assert_eq!(acc.acc[2], 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let k = kernel();
+        let a = GravState {
+            pos: [0.1, -0.4, 0.7],
+            mass: 2.0,
+        };
+        let b = GravState {
+            pos: [1.0, 0.6, -0.3],
+            mass: 5.0,
+        };
+        let mut fa = GravAccum::default();
+        let mut fb = GravAccum::default();
+        k.interact(&a, &(), &b, &(), &mut fa);
+        k.interact(&b, &(), &a, &(), &mut fb);
+        for d in 0..3 {
+            // m_a * a_a = -m_b * a_b.
+            assert!(
+                (a.mass * fa.acc[d] + b.mass * fb.acc[d]).abs() < 1e-12,
+                "third-law violation in {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_pair_is_nearly_newtonian() {
+        let k = kernel();
+        let r = 0.1;
+        let a = GravState {
+            pos: [0.0; 3],
+            mass: 1.0,
+        };
+        let b = GravState {
+            pos: [r, 0.0, 0.0],
+            mass: 1.0,
+        };
+        let mut acc = GravAccum::default();
+        k.interact(&a, &(), &b, &(), &mut acc);
+        let newton = 1.0 / (r * r);
+        assert!((acc.acc[0] / newton - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn far_pair_feels_nothing() {
+        let k = kernel(); // cutoff at 7 r_s = 7
+        let a = GravState {
+            pos: [0.0; 3],
+            mass: 1.0,
+        };
+        let b = GravState {
+            pos: [8.0, 0.0, 0.0],
+            mass: 1.0e6,
+        };
+        let mut acc = GravAccum::default();
+        k.interact(&a, &(), &b, &(), &mut acc);
+        assert_eq!(acc.acc, [0.0; 3]);
+    }
+}

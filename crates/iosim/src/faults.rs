@@ -1,0 +1,199 @@
+//! Fault injection and the checkpoint-cadence trade-off.
+//!
+//! Modern exascale machines interrupt every few hours (the paper cites
+//! Ref. 15 and checkpoints after *every* PM step because of it). This
+//! module samples failures from an exponential MTTI model and replays a
+//! run timeline — work, checkpoint, crash, roll back, restart — so the
+//! cadence trade-off (checkpoint overhead vs lost work) is measurable.
+
+use rand::Rng;
+
+/// Exponential mean-time-to-interrupt failure model.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    /// Mean time to interrupt, hours.
+    pub mtti_hours: f64,
+}
+
+impl FaultInjector {
+    /// New injector with the given MTTI.
+    pub fn new(mtti_hours: f64) -> Self {
+        assert!(mtti_hours > 0.0);
+        Self { mtti_hours }
+    }
+
+    /// Sample the time to the next failure, in hours (inverse-transform
+    /// exponential; no failure ever at `f64::INFINITY` MTTI).
+    pub fn sample_hours<R: Rng>(&self, rng: &mut R) -> f64 {
+        if !self.mtti_hours.is_finite() {
+            return f64::INFINITY;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -self.mtti_hours * u.ln()
+    }
+}
+
+/// Outcome of a simulated run under failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Total wall-clock hours, including overheads, lost work, restarts.
+    pub wall_hours: f64,
+    /// Pure solver hours (the useful work).
+    pub solve_hours: f64,
+    /// Hours spent writing checkpoints.
+    pub checkpoint_hours: f64,
+    /// Hours of work lost to rollbacks.
+    pub lost_hours: f64,
+    /// Restart overhead hours.
+    pub restart_hours: f64,
+    /// Number of interrupts experienced.
+    pub interrupts: u32,
+}
+
+/// Replay a run of `n_steps` solver steps, checkpointing every
+/// `ckpt_every` steps, under exponential failures.
+///
+/// * `step_hours` — solver time per step;
+/// * `ckpt_hours` — blocking time per checkpoint;
+/// * `restart_hours` — cost of rescheduling + reload after an interrupt.
+pub fn simulate_run<R: Rng>(
+    rng: &mut R,
+    n_steps: u32,
+    step_hours: f64,
+    ckpt_hours: f64,
+    restart_hours: f64,
+    ckpt_every: u32,
+    injector: &FaultInjector,
+) -> RunOutcome {
+    assert!(ckpt_every >= 1);
+    let mut out = RunOutcome {
+        wall_hours: 0.0,
+        solve_hours: 0.0,
+        checkpoint_hours: 0.0,
+        lost_hours: 0.0,
+        restart_hours: 0.0,
+        interrupts: 0,
+    };
+    let mut completed: u32 = 0; // last checkpointed step
+    let mut next_failure = injector.sample_hours(rng);
+    let mut since_restart = 0.0f64; // machine-up time since last (re)start
+    let mut step = 0u32;
+    // Work not yet protected by a checkpoint.
+    let mut unprotected = 0.0f64;
+
+    while step < n_steps {
+        let mut segment = step_hours;
+        let checkpoint_due = (step + 1) % ckpt_every == 0 || step + 1 == n_steps;
+        if checkpoint_due {
+            segment += ckpt_hours;
+        }
+        if since_restart + segment >= next_failure {
+            // Interrupt mid-segment: lose everything since the last
+            // checkpoint, pay the restart, resume from `completed`.
+            let ran = (next_failure - since_restart).max(0.0);
+            out.wall_hours += ran + restart_hours;
+            out.lost_hours += unprotected + ran.min(segment);
+            out.restart_hours += restart_hours;
+            out.interrupts += 1;
+            step = completed;
+            unprotected = 0.0;
+            since_restart = 0.0;
+            next_failure = injector.sample_hours(rng);
+            continue;
+        }
+        since_restart += segment;
+        out.wall_hours += segment;
+        out.solve_hours += step_hours;
+        unprotected += step_hours;
+        if checkpoint_due {
+            out.checkpoint_hours += ckpt_hours;
+            completed = step + 1;
+            unprotected = 0.0;
+        }
+        step += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_matches_mtti() {
+        let inj = FaultInjector::new(3.0);
+        let mut r = rng(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| inj.sample_hours(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn no_failures_without_mtti_pressure() {
+        let inj = FaultInjector::new(1.0e12);
+        let mut r = rng(2);
+        let out = simulate_run(&mut r, 100, 0.25, 0.01, 0.5, 1, &inj);
+        assert_eq!(out.interrupts, 0);
+        assert!((out.solve_hours - 25.0).abs() < 1e-9);
+        assert!((out.wall_hours - (25.0 + 100.0 * 0.01)).abs() < 1e-9);
+        assert_eq!(out.lost_hours, 0.0);
+    }
+
+    #[test]
+    fn frequent_checkpoints_reduce_lost_work() {
+        // Frontier-like: ~0.3 h/step, few-hour MTTI. Compare per-step
+        // checkpointing (the paper's choice) against every 32 steps.
+        let inj = FaultInjector::new(4.0);
+        let mut lost_every_step = 0.0;
+        let mut lost_rarely = 0.0;
+        for seed in 0..40 {
+            let mut r1 = rng(seed);
+            let mut r2 = rng(seed);
+            lost_every_step +=
+                simulate_run(&mut r1, 200, 0.3, 0.01, 0.5, 1, &inj).lost_hours;
+            lost_rarely +=
+                simulate_run(&mut r2, 200, 0.3, 0.01, 0.5, 32, &inj).lost_hours;
+        }
+        assert!(
+            lost_rarely > 3.0 * lost_every_step,
+            "every-step lost {lost_every_step}, every-32 lost {lost_rarely}"
+        );
+    }
+
+    #[test]
+    fn run_always_completes() {
+        let inj = FaultInjector::new(2.0);
+        let mut r = rng(7);
+        let out = simulate_run(&mut r, 50, 0.3, 0.02, 0.5, 1, &inj);
+        assert!(out.interrupts > 0, "harsh MTTI should interrupt");
+        assert!(out.solve_hours >= 50.0 * 0.3 - 1e-9);
+        assert!(out.wall_hours > out.solve_hours);
+    }
+
+    #[test]
+    fn checkpoint_overhead_accounted() {
+        let inj = FaultInjector::new(f64::INFINITY);
+        let mut r = rng(9);
+        let out = simulate_run(&mut r, 10, 1.0, 0.25, 0.0, 2, &inj);
+        // Checkpoints at steps 2,4,6,8,10 -> 5 checkpoints.
+        assert!((out.checkpoint_hours - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_time_decomposition_consistent() {
+        let inj = FaultInjector::new(3.0);
+        let mut r = rng(11);
+        let out = simulate_run(&mut r, 100, 0.3, 0.02, 0.4, 1, &inj);
+        // wall >= solve + checkpoint + restart (lost work overlaps the
+        // failed segments, accounted within wall via the `ran` terms).
+        assert!(
+            out.wall_hours + 1e-9
+                >= out.solve_hours + out.checkpoint_hours + out.restart_hours
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! K-space Poisson solve with spectral filtering, CIC deconvolution, and
+//! spectral force gradients — HACC's "spectrally filtered PM" in miniature.
+//!
+//! Given the Fourier-space mass grid `rho(k)`, the long-range potential is
+//!
+//! ```text
+//! phi(k) = -prefactor * rho(k) / k^2 * S(k) / W_cic(k)^2
+//! ```
+//!
+//! where `S(k) = exp(-k^2 r_s^2)` is the Gaussian long-range filter (the
+//! complementary short-range kernel lives in `hacc-grav`) and `W_cic` is
+//! the CIC assignment window, deconvolved twice (deposit + interpolation).
+//! Force components come from the spectral gradient `F = -i k phi(k)`.
+
+use hacc_swfft::Complex64;
+
+/// Signed wavenumber index for FFT bin `i` of an `n`-grid.
+#[inline]
+pub fn signed_index(n: usize, i: usize) -> i64 {
+    let i = i as i64;
+    let n = n as i64;
+    if i <= n / 2 {
+        i
+    } else {
+        i - n
+    }
+}
+
+/// The one-dimensional CIC window `sinc^2(k_d Delta / 2)` for FFT bin `i`.
+#[inline]
+pub fn cic_window_1d(n: usize, i: usize) -> f64 {
+    let m = signed_index(n, i);
+    if m == 0 {
+        return 1.0;
+    }
+    let x = std::f64::consts::PI * m as f64 / n as f64;
+    let s = x.sin() / x;
+    s * s
+}
+
+/// Options controlling the spectral solve.
+#[derive(Debug, Clone, Copy)]
+pub struct GreensOptions {
+    /// `4 pi G` or the cosmological Poisson prefactor; the potential is
+    /// `phi(k) = -prefactor rho(k)/k^2 ...`.
+    pub prefactor: f64,
+    /// Gaussian split scale `r_s` in the same length units as the box.
+    /// Zero disables filtering (plain PM; used by ablations).
+    pub split_scale: f64,
+    /// Deconvolve the CIC window twice (deposit and interpolation).
+    pub deconvolve_cic: bool,
+}
+
+/// Apply the Green's function and spectral gradient to the k-space mass
+/// grid (slab layout B of [`hacc_swfft::DistFft3d`]): produces the three
+/// force-component grids `F_d(k) = -i k_d phi(k)`.
+///
+/// `rho_k` is indexed `[(ly * n + x) * n + z]` with `ly` spanning this
+/// rank's `ny` y-planes starting at `y0`. `box_size` sets the physical
+/// wavenumbers `k_d = 2 pi m_d / L`.
+pub fn apply_greens_gradient(
+    rho_k: &[Complex64],
+    n: usize,
+    y0: usize,
+    ny: usize,
+    box_size: f64,
+    opts: &GreensOptions,
+) -> [Vec<Complex64>; 3] {
+    assert_eq!(rho_k.len(), ny * n * n);
+    let two_pi_l = 2.0 * std::f64::consts::PI / box_size;
+    let mut fx = vec![Complex64::zero(); rho_k.len()];
+    let mut fy = vec![Complex64::zero(); rho_k.len()];
+    let mut fz = vec![Complex64::zero(); rho_k.len()];
+
+    for ly in 0..ny {
+        let y = y0 + ly;
+        let ky = two_pi_l * signed_index(n, y) as f64;
+        let wy = cic_window_1d(n, y);
+        for x in 0..n {
+            let kx = two_pi_l * signed_index(n, x) as f64;
+            let wx = cic_window_1d(n, x);
+            let row = (ly * n + x) * n;
+            for z in 0..n {
+                let kz = two_pi_l * signed_index(n, z) as f64;
+                let k2 = kx * kx + ky * ky + kz * kz;
+                let idx = row + z;
+                if k2 == 0.0 {
+                    // Zero mode: mean density sources no force (Jeans
+                    // swindle / periodic background subtraction).
+                    continue;
+                }
+                let mut g = -opts.prefactor / k2;
+                if opts.split_scale > 0.0 {
+                    g *= (-k2 * opts.split_scale * opts.split_scale).exp();
+                }
+                if opts.deconvolve_cic {
+                    let w = wx * wy * cic_window_1d(n, z);
+                    g /= w * w;
+                }
+                let phi = rho_k[idx].scale(g);
+                // F = -i k phi  =>  multiply by (-i k_d).
+                let m_i_phi = Complex64::new(phi.im, -phi.re); // -i * phi
+                fx[idx] = m_i_phi.scale(kx);
+                fy[idx] = m_i_phi.scale(ky);
+                fz[idx] = m_i_phi.scale(kz);
+            }
+        }
+    }
+    [fx, fy, fz]
+}
+
+/// The isotropic long-range filter in k-space, `S(k) = exp(-k² r_s²)`.
+#[inline]
+pub fn long_range_filter(k: f64, r_s: f64) -> f64 {
+    (-k * k * r_s * r_s).exp()
+}
+
+/// The complementary short-range force factor in real space: the fraction
+/// of the Newtonian `1/r²` force carried by the short-range side of the
+/// Gaussian split,
+/// `f_sr(r)/f_newton(r) = erfc(r/(2 r_s)) + r/(r_s sqrt(pi)) exp(-r²/(4 r_s²))`.
+#[inline]
+pub fn short_range_fraction(r: f64, r_s: f64) -> f64 {
+    if r_s <= 0.0 {
+        return 0.0;
+    }
+    let x = r / (2.0 * r_s);
+    erfc(x) + (r / (r_s * std::f64::consts::PI.sqrt())) * (-x * x).exp()
+}
+
+/// Complementary error function via the Abramowitz–Stegun 7.1.26 rational
+/// fit (|error| < 1.5e-7, ample for force splitting).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_index_symmetry() {
+        assert_eq!(signed_index(8, 0), 0);
+        assert_eq!(signed_index(8, 4), 4); // Nyquist kept positive
+        assert_eq!(signed_index(8, 5), -3);
+        assert_eq!(signed_index(8, 7), -1);
+    }
+
+    #[test]
+    fn cic_window_bounds() {
+        for i in 0..16 {
+            let w = cic_window_1d(16, i);
+            assert!(w > 0.0 && w <= 1.0);
+        }
+        assert_eq!(cic_window_1d(16, 0), 1.0);
+        // Nyquist: sinc^2(pi/2) = (2/pi)^2.
+        let nyq = cic_window_1d(16, 8);
+        let expect = (2.0 / std::f64::consts::PI).powi(2);
+        assert!((nyq - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(2.0) - 0.004_677_7).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_fractions_sum_to_newton() {
+        // Long-range + short-range must reconstruct the full force:
+        // in real space, 1 - f_sr(r) is the long-range fraction, which for
+        // the Gaussian split equals erf(r/2rs) - (r/rs sqrt(pi)) exp(...).
+        // Check limits instead: f_sr -> 1 as r -> 0, -> 0 as r -> inf.
+        let rs = 1.0;
+        assert!((short_range_fraction(1e-6, rs) - 1.0).abs() < 1e-5);
+        assert!(short_range_fraction(20.0, rs) < 1e-10);
+        // Monotone decreasing.
+        let mut prev = 2.0;
+        for i in 1..100 {
+            let f = short_range_fraction(i as f64 * 0.2, rs);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn zero_mode_produces_no_force() {
+        let n = 4;
+        let rho = vec![Complex64::one(); n * n * n];
+        let opts = GreensOptions {
+            prefactor: 1.0,
+            split_scale: 0.0,
+            deconvolve_cic: false,
+        };
+        let [fx, _, _] = apply_greens_gradient(&rho, n, 0, n, 1.0, &opts);
+        assert_eq!(fx[0], Complex64::zero());
+    }
+
+    #[test]
+    fn gradient_of_plane_wave() {
+        // rho(x) = cos(2 pi x / L) along x: rho(k) has power only at
+        // kx = +-1. The resulting force must be along x only, and
+        // proportional to sin (phase shift by -i k / k^2 * ... ).
+        let n = 8;
+        let l = 2.0 * std::f64::consts::PI; // so k1 = 1
+        // Build rho(k) for rho(x)=cos(k1 x): delta at (1,0,0) and (n-1,0,0)
+        // with amplitude n^3/2 (unnormalized forward FFT convention).
+        let mut rho = vec![Complex64::zero(); n * n * n];
+        let amp = (n * n * n) as f64 / 2.0;
+        // Layout B on one rank is [(y * n + x) * n + z].
+        rho[(0 * n + 1) * n] = Complex64::new(amp, 0.0);
+        rho[(0 * n + (n - 1)) * n] = Complex64::new(amp, 0.0);
+        let opts = GreensOptions {
+            prefactor: 1.0,
+            split_scale: 0.0,
+            deconvolve_cic: false,
+        };
+        let [fx, fy, fz] = apply_greens_gradient(&rho, n, 0, n, l, &opts);
+        // phi(k) = -rho(k)/k^2 -> phi(x) = -cos(x); F = -dphi/dx = -sin(x).
+        // In k-space F_x(k=+1) should be -i*k*phi = i * amp ... just verify
+        // fy, fz vanish and fx is nonzero and purely imaginary.
+        assert!(fy.iter().all(|v| v.abs() < 1e-12));
+        assert!(fz.iter().all(|v| v.abs() < 1e-12));
+        let v = fx[(0 * n + 1) * n];
+        assert!(v.re.abs() < 1e-9 && v.im.abs() > 0.1);
+    }
+}

@@ -1,0 +1,478 @@
+//! Point-to-point messaging and collectives over threads.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Message tag, mirroring MPI tags. User tags must leave the high bit clear;
+/// tags with the high bit set are reserved for internal collectives.
+pub type Tag = u64;
+
+const COLLECTIVE_BIT: Tag = 1 << 63;
+
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The SPMD entry point: spawns one thread per rank and runs the same
+/// closure on each.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks and return the per-rank results in rank order.
+    ///
+    /// Panics in any rank propagate (the join unwinds), mirroring an MPI
+    /// abort.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(n > 0, "world size must be positive");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = std::sync::Arc::new(txs);
+        let fref = &f;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let txs = std::sync::Arc::clone(&txs);
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm {
+                        rank,
+                        size: n,
+                        rx,
+                        txs,
+                        stash: VecDeque::new(),
+                        epoch: 0,
+                    };
+                    fref(&mut comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A per-rank communicator handle. Not `Clone`: each rank owns exactly one,
+/// matching the single-threaded-per-rank MPI usage in CRK-HACC.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    rx: Receiver<Envelope>,
+    txs: std::sync::Arc<Vec<Sender<Envelope>>>,
+    stash: VecDeque<Envelope>,
+    epoch: u64,
+}
+
+impl Comm {
+    /// This rank's index in `[0, size)`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Asynchronous (buffered, non-blocking) send of `value` to rank `dst`.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        assert!(tag & COLLECTIVE_BIT == 0, "tag high bit is reserved");
+        self.send_raw(dst, tag, value);
+    }
+
+    fn send_raw<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        self.txs[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive of a message with the given source and tag.
+    ///
+    /// Messages arriving with a different `(src, tag)` are stashed and
+    /// returned by later matching receives, so receive order across
+    /// distinct sources need not match send order.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        assert!(tag & COLLECTIVE_BIT == 0, "tag high bit is reserved");
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        // First drain the stash.
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            let env = self.stash.remove(pos).unwrap();
+            return Self::downcast(env, src, tag);
+        }
+        loop {
+            let env = self.rx.recv().expect("all senders hung up");
+            if env.src == src && env.tag == tag {
+                return Self::downcast(env, src, tag);
+            }
+            self.stash.push_back(env);
+        }
+    }
+
+    fn downcast<T: 'static>(env: Envelope, src: usize, tag: Tag) -> T {
+        *env.payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv(src={src}, tag={tag})"))
+    }
+
+    fn next_collective_tag(&mut self) -> Tag {
+        self.epoch = self.epoch.wrapping_add(1);
+        COLLECTIVE_BIT | self.epoch
+    }
+
+    /// Synchronize all ranks (dissemination barrier over p2p messages).
+    pub fn barrier(&mut self) {
+        let tag = self.next_collective_tag();
+        let mut step = 1usize;
+        while step < self.size {
+            let to = (self.rank + step) % self.size;
+            let from = (self.rank + self.size - step) % self.size;
+            self.send_raw(to, tag, ());
+            let () = self.recv_raw(from, tag);
+            step <<= 1;
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank. Non-root ranks pass any
+    /// placeholder (it is ignored); every rank returns the root's value.
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: T) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send_raw(dst, tag, value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Gather one value from every rank to `root`. Returns `Some(values)`
+    /// in rank order on the root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = Some(self.recv_raw(src, tag));
+                }
+            }
+            Some(out.into_iter().map(|v| v.unwrap()).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Gather one value from every rank to every rank.
+    pub fn all_gather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        let data = if self.rank == 0 { gathered.unwrap() } else { Vec::new() };
+        self.broadcast(0, data)
+    }
+
+    /// Reduce with a user-supplied associative operator; every rank gets
+    /// the result. The reduction is applied in rank order, so
+    /// non-commutative (but associative) operators are deterministic.
+    pub fn all_reduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let vals = self.all_gather(value);
+        let mut it = vals.into_iter();
+        let first = it.next().expect("non-empty world");
+        it.fold(first, op)
+    }
+
+    /// Convenience f64 allreduce.
+    pub fn all_reduce_f64<F: Fn(f64, f64) -> f64>(&mut self, v: f64, op: F) -> f64 {
+        self.all_reduce(v, op)
+    }
+
+    /// Convenience u64 sum allreduce.
+    pub fn all_reduce_sum_u64(&mut self, v: u64) -> u64 {
+        self.all_reduce(v, |a, b| a + b)
+    }
+
+    /// Exclusive prefix sum: rank r receives `sum(values[0..r])`.
+    pub fn exscan_u64(&mut self, value: u64) -> u64 {
+        let all = self.all_gather(value);
+        all[..self.rank].iter().sum()
+    }
+
+    /// The all-to-all-v exchange: `sends[d]` goes to rank `d`; returns the
+    /// vector received from each source rank, in rank order. This is the
+    /// backbone of both particle overloading and FFT pencil transposes.
+    pub fn all_to_allv<T: Send + 'static>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size, "need one send buffer per rank");
+        let tag = self.next_collective_tag();
+        // Self-exchange without going through a channel.
+        let mut mine = Some(std::mem::take(&mut sends[self.rank]));
+        // Post all sends first (buffered channels: cannot deadlock).
+        for (dst, buf) in sends.into_iter().enumerate() {
+            if dst != self.rank {
+                self.send_raw(dst, tag, buf);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(mine.take().expect("self slot taken once"));
+            } else {
+                out.push(self.recv_raw(src, tag));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let out = World::run(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, c.rank());
+            c.recv::<usize>(prev, 7)
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, "first".to_string());
+                c.send(1, 2, "second".to_string());
+                String::new()
+            } else {
+                // Receive in reverse tag order.
+                let b = c.recv::<String>(0, 2);
+                let a = c.recv::<String>(0, 1);
+                format!("{a}/{b}")
+            }
+        });
+        assert_eq!(out[1], "first/second");
+    }
+
+    #[test]
+    fn barrier_completes_many_rounds() {
+        let out = World::run(7, |c| {
+            for _ in 0..50 {
+                c.barrier();
+            }
+            c.rank()
+        });
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = World::run(4, |c| {
+            let v = if c.rank() == 2 { 99u32 } else { 0 };
+            c.broadcast(2, v)
+        });
+        assert!(out.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let out = World::run(6, |c| c.gather(3, c.rank() * 10));
+        for (r, res) in out.iter().enumerate() {
+            if r == 3 {
+                assert_eq!(res.as_ref().unwrap(), &vec![0, 10, 20, 30, 40, 50]);
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_max() {
+        let out = World::run(8, |c| c.all_reduce_f64(c.rank() as f64, f64::max));
+        assert!(out.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn all_reduce_deterministic_order() {
+        // String concatenation is associative but not commutative; the
+        // result must be in rank order on every rank.
+        let out = World::run(4, |c| {
+            c.all_reduce(c.rank().to_string(), |a, b| a + &b)
+        });
+        assert!(out.iter().all(|v| v == "0123"));
+    }
+
+    #[test]
+    fn exscan_matches_prefix_sums() {
+        let out = World::run(5, |c| c.exscan_u64((c.rank() + 1) as u64));
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn all_to_allv_transposes() {
+        let out = World::run(3, |c| {
+            let sends: Vec<Vec<usize>> =
+                (0..3).map(|d| vec![c.rank() * 100 + d]).collect();
+            c.all_to_allv(sends)
+        });
+        // Rank r receives from src s the value s*100 + r.
+        for (r, recvd) in out.iter().enumerate() {
+            for (s, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf, &vec![s * 100 + r]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_allv_variable_sizes() {
+        let out = World::run(4, |c| {
+            let sends: Vec<Vec<u8>> = (0..4)
+                .map(|d| vec![c.rank() as u8; (c.rank() + d) % 3])
+                .collect();
+            let recvd = c.all_to_allv(sends);
+            recvd.iter().map(|v| v.len()).sum::<usize>()
+        });
+        // Total received equals total sent across the world.
+        let total: usize = out.iter().sum();
+        let expect: usize = (0..4)
+            .map(|r| (0..4).map(|d| (r + d) % 3).sum::<usize>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |c| {
+            c.barrier();
+            let v = c.all_gather(42);
+            let s = c.all_reduce_sum_u64(9);
+            let a2a = c.all_to_allv(vec![vec![1, 2, 3]]);
+            (v, s, a2a)
+        });
+        assert_eq!(out[0].0, vec![42]);
+        assert_eq!(out[0].1, 9);
+        assert_eq!(out[0].2, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn send_to_self() {
+        let out = World::run(2, |c| {
+            c.send(c.rank(), 5, c.rank() + 100);
+            c.recv::<usize>(c.rank(), 5)
+        });
+        assert_eq!(out, vec![100, 101]);
+    }
+
+    #[test]
+    fn message_storm_stress() {
+        // Randomized many-to-many traffic with mixed tags: every message
+        // must arrive exactly once regardless of interleaving.
+        let n = 6;
+        let per_pair = 40;
+        let sums = World::run(n, move |c| {
+            let rank = c.rank();
+            // Everyone sends `per_pair` tagged integers to everyone.
+            for dst in 0..n {
+                for k in 0..per_pair {
+                    let tag = (k % 5) as Tag;
+                    c.send(dst, tag, (rank * 1_000_000 + k) as u64);
+                }
+            }
+            // Receive them all, in per-source order within each tag.
+            let mut sum = 0u64;
+            for src in 0..n {
+                for k in 0..per_pair {
+                    let tag = (k % 5) as Tag;
+                    sum += c.recv::<u64>(src, tag);
+                }
+            }
+            c.all_reduce(sum, |a, b| a + b)
+        });
+        let expect: u64 = {
+            let per_rank: u64 = (0..per_pair as u64)
+                .map(|k| k)
+                .sum::<u64>()
+                + per_pair as u64 * 0; // offsets added below
+            let mut total = 0u64;
+            for rank in 0..n as u64 {
+                total += (rank * 1_000_000 * per_pair as u64 + per_rank) * n as u64;
+            }
+            total
+        };
+        assert!(sums.iter().all(|&s| s == expect), "{sums:?} vs {expect}");
+    }
+
+    #[test]
+    fn interleaved_collectives_and_p2p() {
+        // Collectives must not swallow or reorder user p2p messages.
+        let out = World::run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 9, c.rank() as u64);
+            let total = c.all_reduce_sum_u64(1);
+            c.barrier();
+            let got = c.recv::<u64>(prev, 9);
+            let all = c.all_gather(got);
+            (total, all)
+        });
+        for (total, all) in out {
+            assert_eq!(total, 4);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn large_payload_transfer() {
+        // Vec payloads move by ownership through the channel: a
+        // multi-megabyte exchange must arrive intact.
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                let big: Vec<f64> = (0..500_000).map(|i| i as f64).collect();
+                c.send(1, 3, big);
+                0.0
+            } else {
+                let big = c.recv::<Vec<f64>>(0, 3);
+                big[499_999]
+            }
+        });
+        assert_eq!(out[1], 499_999.0);
+    }
+}

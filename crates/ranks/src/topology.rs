@@ -1,0 +1,189 @@
+//! Cartesian rank topology: the 3-D cuboid domain decomposition CRK-HACC
+//! uses to assign subvolumes to ranks.
+
+/// A 3-D Cartesian decomposition of `n` ranks into a `dims[0] x dims[1] x
+/// dims[2]` grid, chosen as close to cubic as possible (mirroring
+/// `MPI_Dims_create`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CartDecomp {
+    /// Ranks per dimension.
+    pub dims: [usize; 3],
+}
+
+impl CartDecomp {
+    /// Factor `n` ranks into a near-cubic 3-D grid.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let mut best = [n, 1, 1];
+        let mut best_score = score([n, 1, 1]);
+        // Enumerate all factorizations n = a*b*c with a <= b <= c is
+        // unnecessary; n here is small (rank counts), so brute force.
+        let mut a = 1;
+        while a * a * a <= n {
+            if n % a == 0 {
+                let m = n / a;
+                let mut b = a;
+                while b * b <= m {
+                    if m % b == 0 {
+                        let c = m / b;
+                        let cand = [a, b, c];
+                        let s = score(cand);
+                        if s < best_score {
+                            best_score = s;
+                            best = cand;
+                        }
+                    }
+                    b += 1;
+                }
+            }
+            a += 1;
+        }
+        // Order so the slowest-varying dimension gets the largest count,
+        // matching HACC's z-major rank ordering.
+        best.sort_unstable();
+        Self {
+            dims: [best[2], best[1], best[0]],
+        }
+    }
+
+    /// Total rank count.
+    pub fn size(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Rank index -> 3-D coordinates (x-major ordering: x slowest).
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        assert!(rank < self.size());
+        let yz = self.dims[1] * self.dims[2];
+        [rank / yz, (rank / self.dims[2]) % self.dims[1], rank % self.dims[2]]
+    }
+
+    /// 3-D coordinates -> rank index.
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        debug_assert!(coords[0] < self.dims[0]);
+        debug_assert!(coords[1] < self.dims[1]);
+        debug_assert!(coords[2] < self.dims[2]);
+        (coords[0] * self.dims[1] + coords[1]) * self.dims[2] + coords[2]
+    }
+
+    /// Periodic neighbor of `rank` at offset `(dx, dy, dz)`.
+    pub fn neighbor(&self, rank: usize, offset: [isize; 3]) -> usize {
+        let c = self.coords(rank);
+        let mut n = [0usize; 3];
+        for d in 0..3 {
+            let dim = self.dims[d] as isize;
+            n[d] = ((c[d] as isize + offset[d]).rem_euclid(dim)) as usize;
+        }
+        self.rank_of(n)
+    }
+
+    /// The subdomain of the unit box `[0,1)^3` owned by `rank`, as
+    /// `(lo, hi)` corners. Scale by the box size for physical extents.
+    pub fn subdomain(&self, rank: usize) -> ([f64; 3], [f64; 3]) {
+        let c = self.coords(rank);
+        let mut lo = [0.0; 3];
+        let mut hi = [0.0; 3];
+        for d in 0..3 {
+            lo[d] = c[d] as f64 / self.dims[d] as f64;
+            hi[d] = (c[d] + 1) as f64 / self.dims[d] as f64;
+        }
+        (lo, hi)
+    }
+
+    /// Which rank owns unit-box position `p` (periodic-wrapped).
+    pub fn owner_of(&self, p: [f64; 3]) -> usize {
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let x = p[d].rem_euclid(1.0);
+            c[d] = ((x * self.dims[d] as f64) as usize).min(self.dims[d] - 1);
+        }
+        self.rank_of(c)
+    }
+}
+
+fn score(d: [usize; 3]) -> usize {
+    // Surface-to-volume proxy: minimize max/min aspect ratio via the sum of
+    // pairwise differences of the sorted dims.
+    let mut s = d;
+    s.sort_unstable();
+    (s[2] - s[0]) + (s[2] - s[1]) + (s[1] - s[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_cubes() {
+        assert_eq!(CartDecomp::new(8).dims, [2, 2, 2]);
+        assert_eq!(CartDecomp::new(27).dims, [3, 3, 3]);
+        assert_eq!(CartDecomp::new(64).dims, [4, 4, 4]);
+    }
+
+    #[test]
+    fn non_cubes_stay_balanced() {
+        let d = CartDecomp::new(12).dims;
+        assert_eq!(d[0] * d[1] * d[2], 12);
+        assert!(d[0] <= 3 && d[2] >= 2, "dims = {d:?}");
+        let d = CartDecomp::new(9000).dims; // the Frontier-E node count
+        assert_eq!(d[0] * d[1] * d[2], 9000);
+        assert!(*d.iter().max().unwrap() <= 30, "dims = {d:?}");
+    }
+
+    #[test]
+    fn prime_degenerates_to_pencil() {
+        assert_eq!(CartDecomp::new(7).dims, [7, 1, 1]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let dec = CartDecomp::new(24);
+        for r in 0..24 {
+            assert_eq!(dec.rank_of(dec.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_periodically() {
+        let dec = CartDecomp::new(8); // 2x2x2
+        let r = dec.rank_of([0, 0, 0]);
+        assert_eq!(dec.neighbor(r, [-1, 0, 0]), dec.rank_of([1, 0, 0]));
+        assert_eq!(dec.neighbor(r, [2, 0, 0]), r);
+    }
+
+    #[test]
+    fn subdomains_tile_unit_box() {
+        let dec = CartDecomp::new(12);
+        let mut vol = 0.0;
+        for r in 0..12 {
+            let (lo, hi) = dec.subdomain(r);
+            vol += (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+        }
+        assert!((vol - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn owner_contains_point(n in 1usize..60, seed in 0u64..1000) {
+            let dec = CartDecomp::new(n);
+            // Cheap deterministic pseudo-random point.
+            let p = [
+                ((seed * 2654435761) % 1000) as f64 / 1000.0,
+                ((seed * 40503 + 7) % 1000) as f64 / 1000.0,
+                ((seed * 9973 + 3) % 1000) as f64 / 1000.0,
+            ];
+            let owner = dec.owner_of(p);
+            let (lo, hi) = dec.subdomain(owner);
+            for d in 0..3 {
+                prop_assert!(p[d] >= lo[d] - 1e-12 && p[d] < hi[d] + 1e-12);
+            }
+        }
+
+        #[test]
+        fn decomposition_covers_all_ranks(n in 1usize..200) {
+            let dec = CartDecomp::new(n);
+            prop_assert_eq!(dec.size(), n);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! SPH interpolation kernels (3-D, compact support of radius `2h`).
+
+/// An SPH smoothing kernel in three dimensions, parameterized by the
+/// scaled separation `q = r / h`, with support `q < 2`.
+pub trait SphKernel: Sync + Copy {
+    /// Kernel value `W(r, h)` (units 1/length³).
+    fn w(&self, r: f64, h: f64) -> f64;
+    /// Radial derivative `dW/dr` (units 1/length⁴); `<= 0` everywhere.
+    fn dw_dr(&self, r: f64, h: f64) -> f64;
+    /// Support radius in units of `h` (2 for both kernels here).
+    fn support(&self) -> f64 {
+        2.0
+    }
+}
+
+/// The classic M4 cubic spline (Monaghan & Lattanzio 1985), normalization
+/// `sigma = 1/(pi h^3)` with support `2h`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CubicSpline;
+
+impl SphKernel for CubicSpline {
+    fn w(&self, r: f64, h: f64) -> f64 {
+        let q = r / h;
+        let sigma = 1.0 / (std::f64::consts::PI * h * h * h);
+        if q < 1.0 {
+            sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q)
+        } else if q < 2.0 {
+            let t = 2.0 - q;
+            sigma * 0.25 * t * t * t
+        } else {
+            0.0
+        }
+    }
+
+    fn dw_dr(&self, r: f64, h: f64) -> f64 {
+        let q = r / h;
+        let sigma = 1.0 / (std::f64::consts::PI * h * h * h * h);
+        if q < 1.0 {
+            sigma * (-3.0 * q + 2.25 * q * q)
+        } else if q < 2.0 {
+            let t = 2.0 - q;
+            sigma * (-0.75 * t * t)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wendland C4 kernel (Dehnen & Aly 2012 normalization, support `2h`),
+/// the smoother choice CRKSPH favors for production cosmology.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WendlandC4;
+
+impl SphKernel for WendlandC4 {
+    fn w(&self, r: f64, h: f64) -> f64 {
+        let q = r / (2.0 * h); // Wendland literature uses support = 1
+        if q >= 1.0 {
+            return 0.0;
+        }
+        // sigma for 3D C4 on unit support: 495/(32 pi); rescale to 2h.
+        let sigma = 495.0 / (32.0 * std::f64::consts::PI * (2.0 * h).powi(3));
+        let omq = 1.0 - q;
+        let omq2 = omq * omq;
+        let omq6 = omq2 * omq2 * omq2;
+        sigma * omq6 * (1.0 + 6.0 * q + 35.0 / 3.0 * q * q)
+    }
+
+    fn dw_dr(&self, r: f64, h: f64) -> f64 {
+        let s = 2.0 * h;
+        let q = r / s;
+        if q >= 1.0 {
+            return 0.0;
+        }
+        let sigma = 495.0 / (32.0 * std::f64::consts::PI * s * s * s);
+        let omq = 1.0 - q;
+        let omq2 = omq * omq;
+        let omq5 = omq2 * omq2 * omq;
+        // d/dq [ (1-q)^6 (1 + 6q + 35/3 q^2) ]
+        //  = (1-q)^5 [ -6(1+6q+35/3 q^2) + (1-q)(6 + 70/3 q) ]
+        let dpoly = omq5
+            * (-6.0 * (1.0 + 6.0 * q + 35.0 / 3.0 * q * q)
+                + omq * (6.0 + 70.0 / 3.0 * q));
+        sigma * dpoly / s
+    }
+}
+
+/// Numerically integrate the kernel over its support (validation helper).
+pub fn kernel_volume_integral<K: SphKernel>(k: &K, h: f64, n: usize) -> f64 {
+    // Spherical shells: int 4 pi r^2 W dr.
+    let rmax = k.support() * h;
+    let dr = rmax / n as f64;
+    let mut total = 0.0;
+    for i in 0..n {
+        let r = (i as f64 + 0.5) * dr;
+        total += 4.0 * std::f64::consts::PI * r * r * k.w(r, h) * dr;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_spline_normalized() {
+        let v = kernel_volume_integral(&CubicSpline, 1.0, 20_000);
+        assert!((v - 1.0).abs() < 1e-6, "integral = {v}");
+        let v2 = kernel_volume_integral(&CubicSpline, 0.37, 20_000);
+        assert!((v2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wendland_c4_normalized() {
+        let v = kernel_volume_integral(&WendlandC4, 1.0, 20_000);
+        assert!((v - 1.0).abs() < 1e-5, "integral = {v}");
+    }
+
+    #[test]
+    fn compact_support() {
+        for h in [0.5, 1.0, 2.0] {
+            assert_eq!(CubicSpline.w(2.0 * h, h), 0.0);
+            assert_eq!(CubicSpline.w(2.5 * h, h), 0.0);
+            assert_eq!(WendlandC4.w(2.0 * h, h), 0.0);
+            assert_eq!(CubicSpline.dw_dr(2.01 * h, h), 0.0);
+            assert_eq!(WendlandC4.dw_dr(2.01 * h, h), 0.0);
+        }
+    }
+
+    #[test]
+    fn kernels_positive_inside_support() {
+        for i in 1..100 {
+            let r = i as f64 * 0.0199;
+            assert!(CubicSpline.w(r, 1.0) > 0.0, "cubic at {r}");
+            assert!(WendlandC4.w(r, 1.0) > 0.0, "wendland at {r}");
+        }
+    }
+
+    #[test]
+    fn gradient_nonpositive_and_matches_finite_difference() {
+        let eps = 1e-6;
+        for kchoice in 0..2 {
+            for i in 1..40 {
+                let r = i as f64 * 0.05;
+                let (w_lo, w_hi, dw) = if kchoice == 0 {
+                    (
+                        CubicSpline.w(r - eps, 1.0),
+                        CubicSpline.w(r + eps, 1.0),
+                        CubicSpline.dw_dr(r, 1.0),
+                    )
+                } else {
+                    (
+                        WendlandC4.w(r - eps, 1.0),
+                        WendlandC4.w(r + eps, 1.0),
+                        WendlandC4.dw_dr(r, 1.0),
+                    )
+                };
+                let fd = (w_hi - w_lo) / (2.0 * eps);
+                assert!(dw <= 1e-12, "kernel {kchoice} dw>0 at r={r}");
+                assert!(
+                    (dw - fd).abs() < 1e-4,
+                    "kernel {kchoice} grad mismatch at r={r}: {dw} vs {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_at_origin() {
+        assert!(CubicSpline.w(0.0, 1.0) > CubicSpline.w(0.5, 1.0));
+        assert!(WendlandC4.w(0.0, 1.0) > WendlandC4.w(0.5, 1.0));
+    }
+
+    #[test]
+    fn scaling_with_h() {
+        // W(0, h) ~ h^-3.
+        let r = CubicSpline.w(0.0, 1.0) / CubicSpline.w(0.0, 2.0);
+        assert!((r - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,457 @@
+//! Sod shock tube — the canonical compressible-hydro validation.
+//!
+//! CRKSPH (Frontiere, Raskin & Owen 2017) demonstrates shock capturing on
+//! exactly this problem. We set up the classic Sod initial conditions as
+//! a 3-D particle slab (periodic in y/z, mirrored in x so the domain is
+//! fully periodic), evolve with the CRKSPH pipeline, and compare the
+//! density/velocity/pressure profiles against the exact Riemann solution.
+//!
+//! Expected accuracy: smoothed-over-h discontinuities, correct plateau
+//! values in the star region and rarefaction fan, shock and contact in
+//! the right places. This is a *shape* validation with quantitative
+//! plateau checks, as in the CRKSPH paper's own figures.
+
+use hacc_sph::pipeline::{sph_step, SphConfig, SphInput};
+use hacc_sph::{CubicSpline, IdealGas};
+use hacc_tree::{ChainingMesh, CmConfig};
+
+const GAMMA: f64 = 5.0 / 3.0;
+
+/// Exact solution of the Sod problem (left: rho=1, P=1; right: rho=0.125,
+/// P=0.1; gamma = 5/3) sampled at x/t. Returns (rho, v, p).
+fn riemann_exact(xi: f64) -> (f64, f64, f64) {
+    // States.
+    let (rl, pl) = (1.0, 1.0);
+    let (rr, pr) = (0.125, 0.1);
+    let cl = (GAMMA * pl / rl).sqrt();
+    let cr = (GAMMA * pr / rr).sqrt();
+    // Solve for p* with Newton iteration on the standard f-functions.
+    let fk = |p: f64, rk: f64, pk: f64, ck: f64| -> (f64, f64) {
+        if p > pk {
+            // Shock.
+            let ak = 2.0 / ((GAMMA + 1.0) * rk);
+            let bk = (GAMMA - 1.0) / (GAMMA + 1.0) * pk;
+            let sq = (ak / (p + bk)).sqrt();
+            let f = (p - pk) * sq;
+            let df = sq * (1.0 - (p - pk) / (2.0 * (p + bk)));
+            (f, df)
+        } else {
+            // Rarefaction.
+            let f = 2.0 * ck / (GAMMA - 1.0)
+                * ((p / pk).powf((GAMMA - 1.0) / (2.0 * GAMMA)) - 1.0);
+            let df = 1.0 / (rk * ck) * (p / pk).powf(-(GAMMA + 1.0) / (2.0 * GAMMA));
+            (f, df)
+        }
+    };
+    let mut p = 0.5 * (pl + pr);
+    for _ in 0..60 {
+        let (f_l, df_l) = fk(p, rl, pl, cl);
+        let (f_r, df_r) = fk(p, rr, pr, cr);
+        let f = f_l + f_r; // du = 0 for Sod
+        let df = df_l + df_r;
+        let step = f / df;
+        p = (p - step).max(1e-8);
+        if step.abs() < 1e-12 {
+            break;
+        }
+    }
+    let p_star = p;
+    let (f_l, _) = fk(p_star, rl, pl, cl);
+    let (f_r, _) = fk(p_star, rr, pr, cr);
+    let u_star = 0.5 * (f_r - f_l);
+
+    // Sample at xi = x/t.
+    if xi < u_star {
+        // Left of contact.
+        // Left rarefaction (p* < pl for Sod).
+        let r_star_l = rl * (p_star / pl).powf(1.0 / GAMMA);
+        let c_star_l = (GAMMA * p_star / r_star_l).sqrt();
+        let head = -cl;
+        let tail = u_star - c_star_l;
+        if xi < head {
+            (rl, 0.0, pl)
+        } else if xi < tail {
+            // Inside the fan.
+            let u = 2.0 / (GAMMA + 1.0) * (cl + xi);
+            let c = cl - (GAMMA - 1.0) / 2.0 * u;
+            let r = rl * (c / cl).powf(2.0 / (GAMMA - 1.0));
+            let pp = pl * (c / cl).powf(2.0 * GAMMA / (GAMMA - 1.0));
+            (r, u, pp)
+        } else {
+            (r_star_l, u_star, p_star)
+        }
+    } else {
+        // Right of contact: shock (p* > pr).
+        let ratio = p_star / pr;
+        let gfac = (GAMMA - 1.0) / (GAMMA + 1.0);
+        let r_star_r = rr * (ratio + gfac) / (gfac * ratio + 1.0);
+        let s_shock = cr * ((GAMMA + 1.0) / (2.0 * GAMMA) * ratio
+            + (GAMMA - 1.0) / (2.0 * GAMMA))
+            .sqrt();
+        if xi < s_shock {
+            (r_star_r, u_star, p_star)
+        } else {
+            (rr, 0.0, pr)
+        }
+    }
+}
+
+struct Tube {
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    mass: Vec<f64>,
+    h: Vec<f64>,
+    u: Vec<f64>,
+    lx: f64,
+    ly: f64,
+}
+
+/// Build a mirrored Sod tube: dense region in x ∈ [0, L/2), diffuse in
+/// [L/2, L), periodic images supplied as ghost pads at both x ends so the
+/// SPH neighborhood is complete everywhere (y/z padded likewise).
+fn build_tube(nx_dense: usize, ny: usize) -> Tube {
+    let lx = 2.0; // full domain [0, 2): dense half + diffuse half
+    let dx_dense = (lx / 2.0) / nx_dense as f64;
+    let dx_diffuse = dx_dense * 2.0; // 8x lower density (2 in x * 2*2? no:
+                                     // rho ratio = (dx_d/dx_f)^3 if all
+                                     // dims scale; we scale x only with
+                                     // mass per particle fixed, so
+                                     // rho ∝ 1/dx.
+    let ly = ny as f64 * dx_dense;
+    let eos = IdealGas { gamma: GAMMA };
+    let mut t = Tube {
+        pos: vec![],
+        vel: vec![],
+        mass: vec![],
+        h: vec![],
+        u: vec![],
+        lx,
+        ly,
+    };
+    // Masses chosen so rho_left = 1 exactly on the lattice; right region
+    // uses 8x lighter particles on a 2x coarser x-lattice -> rho = 0.125.
+    let m = dx_dense * dx_dense * dx_dense;
+    let h_val = 1.8 * dx_dense;
+    let mut add = |x: f64, y: f64, z: f64, mass: f64, u: f64, hh: f64| {
+        t.pos.push([x, y, z]);
+        t.vel.push([0.0; 3]);
+        t.mass.push(mass);
+        t.u.push(u);
+        t.h.push(hh);
+    };
+    let u_left = eos.u_from_p_rho(1.0, 1.0);
+    let u_right = eos.u_from_p_rho(0.1, 0.125);
+    // Dense half.
+    let mut x = 0.5 * dx_dense;
+    while x < lx / 2.0 {
+        for iy in 0..ny {
+            for iz in 0..ny {
+                add(
+                    x,
+                    (iy as f64 + 0.5) * dx_dense,
+                    (iz as f64 + 0.5) * dx_dense,
+                    m,
+                    u_left,
+                    h_val,
+                );
+            }
+        }
+        x += dx_dense;
+    }
+    // Diffuse half: same y/z lattice, coarser in x, lighter by 4 so
+    // rho = m'/(dx' dy dz) = (m/4)/(2 dx dx dx) = 0.125 * m/dx^3.
+    let mut x = lx / 2.0 + 0.5 * dx_diffuse;
+    while x < lx {
+        for iy in 0..ny {
+            for iz in 0..ny {
+                add(
+                    x,
+                    (iy as f64 + 0.5) * dx_dense,
+                    (iz as f64 + 0.5) * dx_dense,
+                    m / 4.0,
+                    u_right,
+                    h_val * 2.0,
+                );
+            }
+        }
+        x += dx_diffuse;
+    }
+    t
+}
+
+/// Append periodic ghost copies within `pad` of every boundary.
+fn with_ghosts(t: &Tube, pad: f64) -> (Vec<[f64; 3]>, Vec<[f64; 3]>, Vec<f64>, Vec<f64>, Vec<f64>, usize) {
+    let n = t.pos.len();
+    let mut pos = t.pos.clone();
+    let mut vel = t.vel.clone();
+    let mut mass = t.mass.clone();
+    let mut h = t.h.clone();
+    let mut u = t.u.clone();
+    let periods = [t.lx, t.ly, t.ly];
+    for i in 0..n {
+        for kx in -1i64..=1 {
+            for ky in -1i64..=1 {
+                for kz in -1i64..=1 {
+                    if kx == 0 && ky == 0 && kz == 0 {
+                        continue;
+                    }
+                    let img = [
+                        t.pos[i][0] + kx as f64 * periods[0],
+                        t.pos[i][1] + ky as f64 * periods[1],
+                        t.pos[i][2] + kz as f64 * periods[2],
+                    ];
+                    let inside = (0..3).all(|d| {
+                        img[d] >= -pad && img[d] < periods[d] + pad
+                    });
+                    if inside {
+                        pos.push(img);
+                        vel.push(t.vel[i]);
+                        mass.push(t.mass[i]);
+                        h.push(t.h[i]);
+                        u.push(t.u[i]);
+                    }
+                }
+            }
+        }
+    }
+    (pos, vel, mass, h, u, n)
+}
+
+#[test]
+fn sod_shock_tube_matches_riemann_solution() {
+    // Debug builds run a miniature qualitative version; release runs the
+    // full quantitative comparison (the one EXPERIMENTS.md records).
+    let quantitative = !cfg!(debug_assertions);
+    let (nx, dt, n_steps) = if quantitative {
+        (64, 0.002, 76) // t_final = 0.152
+    } else {
+        (16, 0.004, 20)
+    };
+    let mut tube = build_tube(nx, 4);
+    let t_final = dt * n_steps as f64;
+    let cfg: SphConfig<CubicSpline> = SphConfig::new();
+
+    for _ in 0..n_steps {
+        let pad = 0.25;
+        let (pos, vel, mass, h, u, n_real) = with_ghosts(&tube, pad);
+        let lo = [-pad, -pad, -pad];
+        let hi = [tube.lx + pad, tube.ly + pad, tube.ly + pad];
+        let h_max = h.iter().cloned().fold(0.0, f64::max);
+        let cm = ChainingMesh::build(
+            &pos,
+            lo,
+            hi,
+            &CmConfig {
+                bin_width: 2.0 * h_max,
+                max_leaf: 96,
+            },
+        );
+        let input = SphInput {
+            pos: &pos,
+            vel: &vel,
+            mass: &mass,
+            h: &h,
+            u: &u,
+        };
+        let r = sph_step(&input, &cm, &cfg);
+        // Kick-drift (ghosts mirror their originals next step anyway).
+        for i in 0..n_real {
+            for d in 0..3 {
+                tube.vel[i][d] += r.accel[i][d] * dt;
+                tube.pos[i][d] += tube.vel[i][d] * dt;
+            }
+            tube.pos[i][0] = tube.pos[i][0].rem_euclid(tube.lx);
+            tube.pos[i][1] = tube.pos[i][1].rem_euclid(tube.ly);
+            tube.pos[i][2] = tube.pos[i][2].rem_euclid(tube.ly);
+            tube.u[i] = (tube.u[i] + r.du_dt[i] * dt).max(1e-10);
+            // Adapt h to local density.
+            let target = 1.8 * (tube.mass[i] / r.rho[i].max(1e-10)).cbrt();
+            tube.h[i] = target.clamp(0.01, 0.2);
+        }
+    }
+
+    // Final state evaluation.
+    let pad = 0.25;
+    let (pos, vel, mass, h, u, n_real) = with_ghosts(&tube, pad);
+    let h_max = h.iter().cloned().fold(0.0, f64::max);
+    let cm = ChainingMesh::build(
+        &pos,
+        [-pad; 3],
+        [tube.lx + pad, tube.ly + pad, tube.ly + pad],
+        &CmConfig {
+            bin_width: 2.0 * h_max,
+            max_leaf: 96,
+        },
+    );
+    let input = SphInput {
+        pos: &pos,
+        vel: &vel,
+        mass: &mass,
+        h: &h,
+        u: &u,
+    };
+    let r = sph_step(&input, &cm, &cfg);
+    let eos = IdealGas { gamma: GAMMA };
+
+    // Compare against the exact solution. The diaphragm is at x = 1.0
+    // (the dense/diffuse interface); xi = (x - 1.0) / t.
+    let mut checked = 0;
+    let mut rho_err_sum = 0.0;
+    let mut v_err_sum = 0.0;
+    for i in 0..n_real {
+        let x = tube.pos[i][0];
+        // Stay away from the mirror boundary at x ~ 0/2 (the second,
+        // mirrored diaphragm of the periodic setup).
+        if !(0.45..=1.75).contains(&x) {
+            continue;
+        }
+        let xi = (x - 1.0) / t_final;
+        let (re, ve, pe) = riemann_exact(xi);
+        rho_err_sum += (r.rho[i] - re).abs() / re;
+        v_err_sum += (tube.vel[i][0] - ve).abs() / 1.0; // normalize by u* scale
+        let _ = pe;
+        checked += 1;
+    }
+    assert!(checked > 50, "too few particles sampled: {checked}");
+    let rho_l1 = rho_err_sum / checked as f64;
+    let v_l1 = v_err_sum / checked as f64;
+    // Smoothed discontinuities at this resolution: L1 errors of ~10-20%
+    // are expected; a broken solver gives O(1).
+    let (tol_rho, tol_v) = if quantitative { (0.25, 0.25) } else { (0.6, 0.6) };
+    assert!(rho_l1 < tol_rho, "density L1 error {rho_l1:.3}");
+    assert!(v_l1 < tol_v, "velocity L1 error {v_l1:.3}");
+    if !quantitative {
+        // Qualitative signatures only at miniature scale: material flows
+        // from dense to diffuse, and some gas has been shock-heated.
+        let mean_v_right: f64 = (0..n_real)
+            .filter(|&i| (1.02..1.3).contains(&tube.pos[i][0]))
+            .map(|i| tube.vel[i][0])
+            .sum::<f64>()
+            .max(0.0);
+        assert!(mean_v_right > 0.0, "no rightward flow");
+        return;
+    }
+
+    // Quantitative plateau checks in the *left* star region (between the
+    // rarefaction tail at xi ≈ -0.17 and the contact at u* ≈ 0.84):
+    // rho*_L ≈ 0.4796, v = u* ≈ 0.8412.
+    let mut star_rho = Vec::new();
+    let mut star_v = Vec::new();
+    for i in 0..n_real {
+        let x = tube.pos[i][0];
+        if !(0.45..=1.75).contains(&x) {
+            continue;
+        }
+        let xi = (x - 1.0) / t_final;
+        if (0.0..0.6).contains(&xi) {
+            star_rho.push(r.rho[i]);
+            star_v.push(tube.vel[i][0]);
+        }
+    }
+    assert!(star_rho.len() > 20, "no star-region particles");
+    let mean_rho = star_rho.iter().sum::<f64>() / star_rho.len() as f64;
+    let mean_v = star_v.iter().sum::<f64>() / star_v.len() as f64;
+    let (re, ve, _) = riemann_exact(0.4);
+    assert!(
+        (mean_rho / re - 1.0).abs() < 0.2,
+        "star-region density {mean_rho:.3} vs exact {re:.3}"
+    );
+    assert!(
+        (mean_v - ve).abs() < 0.2 * ve.abs().max(0.5),
+        "star-region velocity {mean_v:.3} vs exact {ve:.3}"
+    );
+    // Entropy: the shocked right-side gas (contact-to-shock window,
+    // xi in (u*, S) = (0.84, 1.84)) must be heated well above its
+    // initial specific energy.
+    let _ = eos;
+    let u_right_initial = IdealGas { gamma: GAMMA }.u_from_p_rho(0.1, 0.125);
+    let mut shocked = 0;
+    let mut heated = 0;
+    for i in 0..n_real {
+        let xi = (tube.pos[i][0] - 1.0) / t_final;
+        if (0.95..1.7).contains(&xi) {
+            shocked += 1;
+            if tube.u[i] > 1.25 * u_right_initial {
+                heated += 1;
+            }
+        }
+    }
+    assert!(shocked >= 10, "too few shocked particles: {shocked}");
+    assert!(
+        heated * 2 > shocked,
+        "shock heating missing: {heated}/{shocked} heated"
+    );
+}
+
+#[test]
+fn riemann_reference_solution_sane() {
+    // Sanity of the exact solver itself. For gamma = 5/3 Sod:
+    // p* ≈ 0.29395, u* ≈ 0.84119, rho*_L ≈ 0.4796, rho*_R ≈ 0.2298
+    // (independent bisection cross-check).
+    let (r_star, u_star, p_star) = riemann_exact(0.5);
+    assert!((p_star - 0.29395).abs() < 1e-3, "p* = {p_star}");
+    assert!((u_star - 0.84119).abs() < 1e-3, "u* = {u_star}");
+    assert!((r_star - 0.4796).abs() < 2e-3, "rho*L = {r_star}");
+    let (r_star_r, _, _) = riemann_exact(1.0);
+    assert!((r_star_r - 0.22981).abs() < 2e-3, "rho*R = {r_star_r}");
+    // Limits.
+    let (rl, vl, pl) = riemann_exact(-10.0);
+    assert_eq!((rl, vl, pl), (1.0, 0.0, 1.0));
+    let (rr, vr, pr) = riemann_exact(10.0);
+    assert_eq!((rr, vr, pr), (0.125, 0.0, 0.1));
+    // Monotone density decrease through the fan.
+    let mut prev = f64::INFINITY;
+    for i in 0..50 {
+        let xi = -1.2 + i as f64 * 0.04;
+        let (r, _, _) = riemann_exact(xi);
+        assert!(r <= prev + 1e-12);
+        prev = r;
+    }
+}
+
+#[test]
+#[ignore]
+fn debug_profile() {
+    let mut tube = build_tube(64, 4);
+    let dt = 0.002;
+    let n_steps = 76;
+    let t_final = dt * n_steps as f64;
+    let cfg: SphConfig<CubicSpline> = SphConfig::new();
+    for _ in 0..n_steps {
+        let pad = 0.25;
+        let (pos, vel, mass, h, u, n_real) = with_ghosts(&tube, pad);
+        let lo = [-pad, -pad, -pad];
+        let hi = [tube.lx + pad, tube.ly + pad, tube.ly + pad];
+        let h_max = h.iter().cloned().fold(0.0, f64::max);
+        let cm = ChainingMesh::build(&pos, lo, hi, &CmConfig { bin_width: 2.0 * h_max, max_leaf: 96 });
+        let input = SphInput { pos: &pos, vel: &vel, mass: &mass, h: &h, u: &u };
+        let r = sph_step(&input, &cm, &cfg);
+        for i in 0..n_real {
+            for d in 0..3 {
+                tube.vel[i][d] += r.accel[i][d] * dt;
+                tube.pos[i][d] += tube.vel[i][d] * dt;
+            }
+            tube.pos[i][0] = tube.pos[i][0].rem_euclid(tube.lx);
+            tube.pos[i][1] = tube.pos[i][1].rem_euclid(tube.ly);
+            tube.pos[i][2] = tube.pos[i][2].rem_euclid(tube.ly);
+            tube.u[i] = (tube.u[i] + r.du_dt[i] * dt).max(1e-10);
+            let target = 1.8 * (tube.mass[i] / r.rho[i].max(1e-10)).cbrt();
+            tube.h[i] = target.clamp(0.02, 0.3);
+        }
+    }
+    // print binned profile
+    let mut bins = vec![(0.0f64, 0.0f64, 0usize); 40];
+    for i in 0..tube.pos.len() {
+        let x = tube.pos[i][0];
+        let b = ((x / tube.lx) * 40.0) as usize % 40;
+        bins[b].0 += tube.vel[i][0];
+        bins[b].1 += tube.u[i];
+        bins[b].2 += 1;
+    }
+    println!("t_final = {t_final}");
+    for (b, (v, u, n)) in bins.iter().enumerate() {
+        if *n > 0 {
+            println!("x={:.3} n={:3} <vx>={:+.3} <u>={:.3}", (b as f64 + 0.5) * tube.lx / 40.0, n, v / *n as f64, u / *n as f64);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Stochastic Schmidt-law star formation.
+//!
+//! Gas above a physical density threshold and below a temperature ceiling
+//! forms stars on a local free-fall/dynamical timescale with efficiency
+//! `eps_ff`. Whole gas particles convert stochastically (the CRK-HACC
+//! scheme), with probability `p = 1 - exp(-eps dt / t_dyn)` per step.
+
+use hacc_units::constants::{rho_to_nh, u_to_temperature, G_NEWTON, MU_IONIZED};
+use rand::Rng;
+
+/// Star formation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StarFormationModel {
+    /// Reduced Hubble parameter.
+    pub h: f64,
+    /// Physical hydrogen-density threshold in cm⁻³.
+    pub nh_threshold: f64,
+    /// Maximum temperature for star-forming gas (K).
+    pub t_max: f64,
+    /// Efficiency per free-fall time.
+    pub eps_ff: f64,
+}
+
+impl StarFormationModel {
+    /// Literature-standard parameters (n_H > 0.13 cm⁻³, eps_ff = 0.02).
+    pub fn new(h: f64) -> Self {
+        Self {
+            h,
+            nh_threshold: 0.13,
+            t_max: 1.5e4,
+            eps_ff: 0.02,
+        }
+    }
+
+    /// Is this gas particle eligible to form stars?
+    pub fn eligible(&self, rho: f64, u: f64, a: f64) -> bool {
+        let nh = rho_to_nh(rho, a, self.h);
+        let t = u_to_temperature(u, MU_IONIZED);
+        nh >= self.nh_threshold && t <= self.t_max
+    }
+
+    /// Local dynamical (free-fall) time in Gyr:
+    /// `t_ff = sqrt(3 pi / (32 G rho_phys))`.
+    pub fn dynamical_time_gyr(&self, rho: f64, a: f64) -> f64 {
+        // rho in (Msun/h)/(Mpc/h)^3 comoving -> physical Msun/Mpc^3.
+        let rho_phys = (rho * self.h * self.h / (a * a * a)).max(f64::MIN_POSITIVE);
+        // G in Mpc (km/s)^2 / Msun; t in Mpc/(km/s) -> Gyr via
+        // 1 Mpc/(km/s) = 977.79 Gyr.
+        let t_code = (3.0 * std::f64::consts::PI / (32.0 * G_NEWTON * rho_phys)).sqrt();
+        t_code * 977.79
+    }
+
+    /// Probability of converting this particle to a star within `dt_gyr`.
+    pub fn conversion_probability(&self, rho: f64, u: f64, a: f64, dt_gyr: f64) -> f64 {
+        if !self.eligible(rho, u, a) {
+            return 0.0;
+        }
+        let t_dyn = self.dynamical_time_gyr(rho, a);
+        1.0 - (-self.eps_ff * dt_gyr / t_dyn).exp()
+    }
+
+    /// Stochastic draw: does this particle convert?
+    pub fn try_form_star<R: Rng>(
+        &self,
+        rng: &mut R,
+        rho: f64,
+        u: f64,
+        a: f64,
+        dt_gyr: f64,
+    ) -> bool {
+        let p = self.conversion_probability(rho, u, a, dt_gyr);
+        p > 0.0 && rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hacc_units::constants::{temperature_to_u, RHO_CRIT0};
+    use rand::SeedableRng;
+
+    fn model() -> StarFormationModel {
+        StarFormationModel::new(0.6766)
+    }
+
+    /// Comoving density whose physical n_H at a=1 is `nh` cm^-3.
+    fn rho_for_nh(nh: f64, h: f64) -> f64 {
+        // Invert rho_to_nh at a=1 by linear scaling.
+        let probe = 0.05 * RHO_CRIT0;
+        let nh_probe = rho_to_nh(probe, 1.0, h);
+        probe * nh / nh_probe
+    }
+
+    #[test]
+    fn mean_density_gas_never_forms_stars() {
+        let m = model();
+        let rho = 0.05 * RHO_CRIT0; // cosmic mean baryon density
+        let u = temperature_to_u(1.0e4, MU_IONIZED);
+        assert!(!m.eligible(rho, u, 1.0));
+        assert_eq!(m.conversion_probability(rho, u, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn dense_cold_gas_is_eligible() {
+        let m = model();
+        let rho = rho_for_nh(1.0, m.h);
+        let u = temperature_to_u(5.0e3, MU_IONIZED);
+        assert!(m.eligible(rho, u, 1.0));
+        let p = m.conversion_probability(rho, u, 1.0, 0.1);
+        assert!(p > 0.0 && p < 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn hot_dense_gas_is_not_eligible() {
+        let m = model();
+        let rho = rho_for_nh(1.0, m.h);
+        let u = temperature_to_u(1.0e6, MU_IONIZED);
+        assert!(!m.eligible(rho, u, 1.0));
+    }
+
+    #[test]
+    fn dynamical_time_reasonable() {
+        let m = model();
+        // At n_H = 0.13 cm^-3, t_ff ~ 0.1 Gyr (order of magnitude).
+        let rho = rho_for_nh(0.13, m.h);
+        let t = m.dynamical_time_gyr(rho, 1.0);
+        assert!(t > 0.01 && t < 0.5, "t_ff = {t} Gyr");
+        // Denser -> faster.
+        assert!(m.dynamical_time_gyr(rho * 100.0, 1.0) < t);
+    }
+
+    #[test]
+    fn probability_saturates_at_long_dt() {
+        let m = model();
+        let rho = rho_for_nh(10.0, m.h);
+        let u = temperature_to_u(1.0e3, MU_IONIZED);
+        let p = m.conversion_probability(rho, u, 1.0, 1.0e4);
+        assert!((p - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stochastic_rate_matches_probability() {
+        let m = model();
+        let rho = rho_for_nh(1.0, m.h);
+        let u = temperature_to_u(5.0e3, MU_IONIZED);
+        let dt = 0.05;
+        let p = m.conversion_probability(rho, u, 1.0, dt);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut formed = 0;
+        for _ in 0..trials {
+            if m.try_form_star(&mut rng, rho, u, 1.0, dt) {
+                formed += 1;
+            }
+        }
+        let rate = formed as f64 / trials as f64;
+        assert!(
+            (rate - p).abs() < 5.0 * (p / trials as f64).sqrt().max(1e-4),
+            "rate {rate} vs p {p}"
+        );
+    }
+}

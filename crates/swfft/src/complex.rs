@@ -1,0 +1,208 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The long-range solver runs in FP64 (the paper keeps the spectral path in
+//! double precision to preserve accuracy); this type is `#[repr(C)]` and
+//! `Copy` so slices of it can be exchanged through the rank communicator
+//! without serialization overhead.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// One.
+    #[inline]
+    pub const fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub const fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::new(r * c, r * s)
+    }
+
+    /// `e^{i theta}` — unit phasor, the FFT twiddle factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        self.scale(s)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f64) -> Self {
+        self.scale(1.0 / s)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let v = Complex64::i() * Complex64::i();
+        assert_eq!(v, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-14);
+        assert!((z.im.atan2(z.re) - std::f64::consts::FRAC_PI_3).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conj_mul_gives_norm() {
+        let z = Complex64::new(3.0, -4.0);
+        let n = z * z.conj();
+        assert!((n.re - 25.0).abs() < 1e-14);
+        assert!(n.im.abs() < 1e-14);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_is_commutative(a in -10.0f64..10.0, b in -10.0f64..10.0,
+                              c in -10.0f64..10.0, d in -10.0f64..10.0) {
+            let x = Complex64::new(a, b);
+            let y = Complex64::new(c, d);
+            let xy = x * y;
+            let yx = y * x;
+            prop_assert!((xy.re - yx.re).abs() < 1e-10);
+            prop_assert!((xy.im - yx.im).abs() < 1e-10);
+        }
+
+        #[test]
+        fn abs_is_multiplicative(a in -10.0f64..10.0, b in -10.0f64..10.0,
+                                 c in -10.0f64..10.0, d in -10.0f64..10.0) {
+            let x = Complex64::new(a, b);
+            let y = Complex64::new(c, d);
+            prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cis_is_unit(theta in -10.0f64..10.0) {
+            prop_assert!((Complex64::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Serial 1-D FFTs: iterative radix-2 Cooley–Tukey with cached twiddle
+//! tables, and Bluestein's chirp-z algorithm for arbitrary lengths.
+//!
+//! Plans are immutable after construction and safe to share across rank
+//! threads (`&FftPlan` is `Send + Sync`), mirroring FFTW-style plan reuse.
+
+use crate::complex::Complex64;
+
+/// A reusable plan for length-`n` transforms.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Radix-2: bit-reversal table and per-stage twiddles for forward
+    /// (negative exponent) transforms; inverse conjugates on the fly.
+    Radix2 {
+        twiddles: Vec<Complex64>, // n/2 roots: e^{-2 pi i k / n}
+    },
+    /// Bluestein: re-expressed as a convolution of length m (power of two
+    /// >= 2n-1), executed with an inner radix-2 plan.
+    Bluestein {
+        inner: Box<FftPlan>,
+        /// Chirp a_k = e^{-i pi k^2 / n}.
+        chirp: Vec<Complex64>,
+        /// FFT of the zero-padded conjugate-chirp filter.
+        filter_fft: Vec<Complex64>,
+        m: usize,
+    },
+}
+
+impl FftPlan {
+    /// Build a plan for transforms of length `n >= 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be positive");
+        if n.is_power_of_two() {
+            let twiddles = (0..n / 2)
+                .map(|k| {
+                    Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
+                })
+                .collect();
+            Self {
+                n,
+                kind: PlanKind::Radix2 { twiddles },
+            }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = Box::new(FftPlan::new(m));
+            // Chirp: a_k = e^{-i pi k^2 / n}; compute k^2 mod 2n to keep the
+            // angle argument small and accurate for large k.
+            let chirp: Vec<Complex64> = (0..n)
+                .map(|k| {
+                    let k2 = (k * k) % (2 * n);
+                    Complex64::cis(-std::f64::consts::PI * k2 as f64 / n as f64)
+                })
+                .collect();
+            let mut filter = vec![Complex64::zero(); m];
+            for k in 0..n {
+                let c = chirp[k].conj();
+                filter[k] = c;
+                if k > 0 {
+                    filter[m - k] = c;
+                }
+            }
+            inner.forward(&mut filter);
+            Self {
+                n,
+                kind: PlanKind::Bluestein {
+                    inner,
+                    chirp,
+                    filter_fft: filter,
+                    m,
+                },
+            }
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan length is zero (never; lengths are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Unnormalized forward transform (negative exponent convention):
+    /// `X_k = sum_j x_j e^{-2 pi i j k / n}`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// Normalized inverse transform: `x_j = (1/n) sum_k X_k e^{+2 pi i jk/n}`.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+        let inv_n = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv_n);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        assert_eq!(data.len(), self.n, "data length does not match plan");
+        match &self.kind {
+            PlanKind::Radix2 { twiddles } => radix2(data, twiddles, inverse),
+            PlanKind::Bluestein {
+                inner,
+                chirp,
+                filter_fft,
+                m,
+            } => {
+                // Inverse via the conjugation identity:
+                // IDFT(x) = conj(DFT(conj(x))) (normalization by caller).
+                if inverse {
+                    for v in data.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+                let mut buf = vec![Complex64::zero(); *m];
+                for k in 0..self.n {
+                    buf[k] = data[k] * chirp[k];
+                }
+                inner.forward(&mut buf);
+                for (b, f) in buf.iter_mut().zip(filter_fft.iter()) {
+                    *b = *b * *f;
+                }
+                inner.inverse(&mut buf);
+                for k in 0..self.n {
+                    data[k] = buf[k] * chirp[k];
+                }
+                if inverse {
+                    for v in data.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterative radix-2 with bit-reversal reordering. `twiddles[k]` holds
+/// `e^{-2 pi i k / n}`; the inverse conjugates on the fly.
+fn radix2(data: &mut [Complex64], twiddles: &[Complex64], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let levels = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - levels)) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len; // twiddle stride
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let mut w = twiddles[k * step];
+                if inverse {
+                    w = w.conj();
+                }
+                let a = data[start + k];
+                let b = data[start + k + half] * w;
+                data[start + k] = a + b;
+                data[start + k + half] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Reference O(n^2) DFT used for validation.
+pub fn naive_dft(data: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex64::zero(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &x) in data.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+            *o += x * Complex64::cis(theta);
+        }
+        if inverse {
+            *o = o.scale(1.0 / n as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            let reference = naive_dft(&x, false);
+            assert!(max_err(&y, &reference) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_bluestein() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 63, 100] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, 7 + n as u64);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            let reference = naive_dft(&x, false);
+            assert!(max_err(&y, &reference) < 1e-8, "n = {n}: {}", max_err(&y, &reference));
+        }
+    }
+
+    #[test]
+    fn paper_grid_dimension_factor() {
+        // 12,600 (the Frontier-E PM grid per dimension) is not a power of
+        // two; the Bluestein path must handle a scaled version of it.
+        let n = 126; // 12,600 / 100
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 42);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        assert!(max_err(&y, &x) < 1e-10);
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let plan = FftPlan::new(32);
+        let mut x = vec![Complex64::zero(); 32];
+        x[0] = Complex64::one();
+        plan.forward(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 3);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x;
+        plan.forward(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy / freq_energy - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.forward(&mut sum);
+        let mut fa = a;
+        let mut fb = b;
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let combined: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&sum, &combined) < 1e-10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn roundtrip_any_length(n in 1usize..200, seed in 0u64..u64::MAX) {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, seed);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            prop_assert!(max_err(&y, &x) < 1e-8);
+        }
+    }
+}

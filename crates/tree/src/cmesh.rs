@@ -1,0 +1,423 @@
+//! The chaining mesh: fixed-size spatial bins, each holding a coarse-leaf
+//! k-d tree, with leaf-pair interaction list generation.
+
+use crate::kdtree::{build_leaves, Leaf};
+use rayon::prelude::*;
+
+/// Identifier of a leaf within a [`ChainingMesh`].
+pub type LeafId = u32;
+
+/// Chaining-mesh build parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CmConfig {
+    /// Target bin width (the paper uses ~4 PM grid cells). Actual widths
+    /// are rounded so bins exactly tile the domain.
+    pub bin_width: f64,
+    /// Maximum particles per base leaf (paper: a few hundred).
+    pub max_leaf: usize,
+}
+
+impl Default for CmConfig {
+    fn default() -> Self {
+        Self {
+            bin_width: 4.0,
+            max_leaf: 128,
+        }
+    }
+}
+
+/// A chaining mesh over one rank's (overloaded) subdomain.
+///
+/// Built once per PM step from the particle positions; bounding boxes are
+/// then grown (never shrunk) during subcycles via [`Self::grow_aabbs`].
+#[derive(Debug)]
+pub struct ChainingMesh {
+    nbins: [usize; 3],
+    widths: [f64; 3],
+    origin: [f64; 3],
+    /// All base leaves, grouped by bin.
+    pub leaves: Vec<Leaf>,
+    /// `(first_leaf, leaf_count)` per bin.
+    bin_leaves: Vec<(u32, u32)>,
+    /// Bin of each leaf.
+    leaf_bin: Vec<u32>,
+    /// Tree ordering: `order[slot]` is the original particle index.
+    pub order: Vec<u32>,
+}
+
+impl ChainingMesh {
+    /// Build the mesh for `positions` within the axis-aligned domain
+    /// `[lo, hi]` (the overloaded rank volume; positions outside are
+    /// clamped into the boundary bins).
+    pub fn build(positions: &[[f64; 3]], lo: [f64; 3], hi: [f64; 3], cfg: &CmConfig) -> Self {
+        assert!(cfg.bin_width > 0.0 && cfg.max_leaf > 0);
+        let mut nbins = [1usize; 3];
+        let mut widths = [0f64; 3];
+        for d in 0..3 {
+            let extent = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
+            // Floor, so widths never fall below the requested bin width:
+            // the chaining-mesh locality guarantee (cutoff <= width) is
+            // preserved. Domains narrower than one bin get a single bin,
+            // where locality holds trivially.
+            nbins[d] = ((extent / cfg.bin_width).floor() as usize).max(1);
+            widths[d] = extent / nbins[d] as f64;
+        }
+        let total_bins = nbins[0] * nbins[1] * nbins[2];
+
+        // Bin each particle (counting sort).
+        let bin_of = |p: &[f64; 3]| -> usize {
+            let mut b = [0usize; 3];
+            for d in 0..3 {
+                let x = ((p[d] - lo[d]) / widths[d]).floor() as isize;
+                b[d] = x.clamp(0, nbins[d] as isize - 1) as usize;
+            }
+            (b[0] * nbins[1] + b[1]) * nbins[2] + b[2]
+        };
+        let mut counts = vec![0u32; total_bins + 1];
+        let bins: Vec<usize> = positions.iter().map(bin_of).collect();
+        for &b in &bins {
+            counts[b + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut order = vec![0u32; positions.len()];
+        let mut cursor = counts;
+        for (i, &b) in bins.iter().enumerate() {
+            order[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+
+        // Build the per-bin coarse k-d leaves. Bins own disjoint slices of
+        // the ordering array, so the builds run in parallel (rayon) —
+        // this is the GPU tree-build stage of the paper, which is
+        // embarrassingly parallel over chaining-mesh bins.
+        let mut bin_slices: Vec<(usize, &mut [u32])> = Vec::with_capacity(total_bins);
+        {
+            let mut rest: &mut [u32] = &mut order;
+            for b in 0..total_bins {
+                let len = (offsets[b + 1] - offsets[b]) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                bin_slices.push((offsets[b] as usize, head));
+                rest = tail;
+            }
+        }
+        let per_bin: Vec<Vec<Leaf>> = bin_slices
+            .into_par_iter()
+            .map(|(base, slice)| {
+                let mut out = Vec::new();
+                build_leaves(positions, slice, base as u32, cfg.max_leaf, &mut out);
+                out
+            })
+            .collect();
+        let mut leaves = Vec::new();
+        let mut bin_leaves = Vec::with_capacity(total_bins);
+        let mut leaf_bin = Vec::new();
+        for (b, bin) in per_bin.into_iter().enumerate() {
+            let first = leaves.len() as u32;
+            let count = bin.len() as u32;
+            leaves.extend(bin);
+            bin_leaves.push((first, count));
+            leaf_bin.extend(std::iter::repeat(b as u32).take(count as usize));
+        }
+
+        Self {
+            nbins,
+            widths,
+            origin: lo,
+            leaves,
+            bin_leaves,
+            leaf_bin,
+            order,
+        }
+    }
+
+    /// Bin grid dimensions.
+    pub fn nbins(&self) -> [usize; 3] {
+        self.nbins
+    }
+
+    /// Number of base leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The particle indices (original ordering) of leaf `id`.
+    pub fn leaf_particles(&self, id: LeafId) -> &[u32] {
+        let leaf = &self.leaves[id as usize];
+        &self.order[leaf.range()]
+    }
+
+    /// Grow leaf bounding boxes to cover current particle positions (boxes
+    /// never shrink — the paper's "leaves expand as needed" policy that
+    /// avoids rebuilding). Only leaves flagged in `active` are touched;
+    /// pass `None` to grow all.
+    pub fn grow_aabbs(&mut self, positions: &[[f64; 3]], active: Option<&[bool]>) {
+        for (id, leaf) in self.leaves.iter_mut().enumerate() {
+            if let Some(mask) = active {
+                if !mask[id] {
+                    continue;
+                }
+            }
+            for slot in leaf.range() {
+                leaf.aabb.expand(&positions[self.order[slot] as usize]);
+            }
+        }
+    }
+
+    /// Leaf-pair interaction list: all pairs `(i, j)` with `i <= j` whose
+    /// padded bounding boxes lie within `cutoff` of each other, restricted
+    /// to neighboring chaining-mesh bins (the CM guarantee: no interaction
+    /// reaches beyond one bin).
+    ///
+    /// With an `active` mask, a pair is emitted when *either* leaf is
+    /// active (inactive neighbors still source forces on active leaves).
+    pub fn interaction_pairs(&self, cutoff: f64, active: Option<&[bool]>) -> Vec<(LeafId, LeafId)> {
+        let c2 = cutoff * cutoff;
+        let mut pairs = Vec::new();
+        let nb = self.nbins;
+        for (i, leaf_i) in self.leaves.iter().enumerate() {
+            let bi = self.leaf_bin[i] as usize;
+            let bc = [
+                bi / (nb[1] * nb[2]),
+                (bi / nb[2]) % nb[1],
+                bi % nb[2],
+            ];
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let nx = bc[0] as i64 + dx;
+                        let ny = bc[1] as i64 + dy;
+                        let nz = bc[2] as i64 + dz;
+                        if nx < 0
+                            || ny < 0
+                            || nz < 0
+                            || nx >= nb[0] as i64
+                            || ny >= nb[1] as i64
+                            || nz >= nb[2] as i64
+                        {
+                            continue;
+                        }
+                        let nbin = (nx as usize * nb[1] + ny as usize) * nb[2] + nz as usize;
+                        let (first, count) = self.bin_leaves[nbin];
+                        for j in first..first + count {
+                            let j = j as usize;
+                            if j < i {
+                                continue;
+                            }
+                            if let Some(mask) = active {
+                                if !mask[i] && !mask[j] {
+                                    continue;
+                                }
+                            }
+                            if i == j
+                                || leaf_i.aabb.min_dist_sqr(&self.leaves[j].aabb) <= c2
+                            {
+                                pairs.push((i as LeafId, j as LeafId));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Rebuild cost proxy: total leaf AABB volume relative to the domain
+    /// (grows as boxes inflate; used by the rebuild-policy ablation).
+    pub fn overlap_factor(&self) -> f64 {
+        let domain = self.widths[0] * self.nbins[0] as f64
+            * self.widths[1] * self.nbins[1] as f64
+            * self.widths[2] * self.nbins[2] as f64;
+        let total: f64 = self.leaves.iter().map(|l| l.aabb.volume()).sum();
+        total / domain
+    }
+
+    /// Bin coordinates of a bin index (for diagnostics).
+    pub fn bin_coords(&self, bin: usize) -> [usize; 3] {
+        [
+            bin / (self.nbins[1] * self.nbins[2]),
+            (bin / self.nbins[2]) % self.nbins[1],
+            bin % self.nbins[2],
+        ]
+    }
+
+    /// Origin of the binned domain.
+    pub fn origin(&self) -> [f64; 3] {
+        self.origin
+    }
+
+    /// Actual bin widths per dimension (after rounding to tile the
+    /// domain). Interaction cutoffs must not exceed the smallest width —
+    /// the chaining-mesh guarantee that forces stay within one bin
+    /// neighborhood.
+    pub fn widths(&self) -> [f64; 3] {
+        self.widths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64, extent: f64) -> Vec<[f64; 3]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..extent),
+                    rng.gen_range(0.0..extent),
+                    rng.gen_range(0.0..extent),
+                ]
+            })
+            .collect()
+    }
+
+    fn build(n: usize, seed: u64) -> (Vec<[f64; 3]>, ChainingMesh) {
+        let pos = cloud(n, seed, 16.0);
+        let cm = ChainingMesh::build(
+            &pos,
+            [0.0; 3],
+            [16.0; 3],
+            &CmConfig {
+                bin_width: 4.0,
+                max_leaf: 32,
+            },
+        );
+        (pos, cm)
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let (_, cm) = build(500, 1);
+        let mut sorted = cm.order.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn every_particle_in_exactly_one_leaf() {
+        let (_, cm) = build(500, 2);
+        let total: u32 = cm.leaves.iter().map(|l| l.count).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn interaction_list_covers_all_close_pairs() {
+        // Golden invariant: every particle pair within the cutoff must be
+        // covered by some leaf pair in the interaction list.
+        let (pos, cm) = build(400, 3);
+        let cutoff = 1.5;
+        let pairs = cm.interaction_pairs(cutoff, None);
+        // Map particle -> leaf.
+        let mut leaf_of = vec![u32::MAX; pos.len()];
+        for (id, leaf) in cm.leaves.iter().enumerate() {
+            for slot in leaf.range() {
+                leaf_of[cm.order[slot] as usize] = id as u32;
+            }
+        }
+        let pairset: std::collections::HashSet<(u32, u32)> =
+            pairs.iter().copied().collect();
+        let c2 = cutoff * cutoff;
+        for a in 0..pos.len() {
+            for b in (a + 1)..pos.len() {
+                let d2: f64 = (0..3)
+                    .map(|d| (pos[a][d] - pos[b][d]).powi(2))
+                    .sum();
+                if d2 <= c2 {
+                    let (la, lb) = (leaf_of[a].min(leaf_of[b]), leaf_of[a].max(leaf_of[b]));
+                    assert!(
+                        pairset.contains(&(la, lb)),
+                        "close pair ({a},{b}) d={} not covered by leaves ({la},{lb})",
+                        d2.sqrt()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_pairs_always_present() {
+        let (_, cm) = build(300, 4);
+        let pairs = cm.interaction_pairs(0.5, None);
+        for id in 0..cm.n_leaves() as u32 {
+            assert!(pairs.contains(&(id, id)), "missing self pair for {id}");
+        }
+    }
+
+    #[test]
+    fn active_mask_prunes_inactive_pairs() {
+        let (_, cm) = build(400, 5);
+        let mut active = vec![false; cm.n_leaves()];
+        active[0] = true;
+        let pairs = cm.interaction_pairs(2.0, Some(&active));
+        assert!(pairs.iter().all(|&(i, j)| i == 0 || j == 0));
+        let all_pairs = cm.interaction_pairs(2.0, None);
+        assert!(pairs.len() < all_pairs.len());
+    }
+
+    #[test]
+    fn grow_covers_moved_particles() {
+        let (mut pos, mut cm) = build(400, 6);
+        // Drift particles.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for p in &mut pos {
+            for d in 0..3 {
+                p[d] += rng.gen_range(-0.5..0.5);
+            }
+        }
+        cm.grow_aabbs(&pos, None);
+        for (id, leaf) in cm.leaves.iter().enumerate() {
+            for &pi in cm.leaf_particles(id as u32) {
+                assert!(leaf.aabb.contains(&pos[pi as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_never_shrinks() {
+        let (pos, mut cm) = build(300, 7);
+        let before: Vec<f64> = cm.leaves.iter().map(|l| l.aabb.volume()).collect();
+        cm.grow_aabbs(&pos, None);
+        for (l, b) in cm.leaves.iter().zip(before) {
+            assert!(l.aabb.volume() >= b - 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlap_factor_increases_as_boxes_grow() {
+        let (mut pos, mut cm) = build(500, 8);
+        let f0 = cm.overlap_factor();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for p in &mut pos {
+            for d in 0..3 {
+                p[d] += rng.gen_range(-1.0..1.0);
+            }
+        }
+        cm.grow_aabbs(&pos, None);
+        assert!(cm.overlap_factor() >= f0);
+    }
+
+    #[test]
+    fn clamps_out_of_domain_particles() {
+        let mut pos = cloud(50, 10, 16.0);
+        pos.push([-3.0, 20.0, 8.0]); // outside the domain
+        let cm = ChainingMesh::build(
+            &pos,
+            [0.0; 3],
+            [16.0; 3],
+            &CmConfig::default(),
+        );
+        let total: u32 = cm.leaves.iter().map(|l| l.count).sum();
+        assert_eq!(total as usize, pos.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let cm = ChainingMesh::build(&[], [0.0; 3], [16.0; 3], &CmConfig::default());
+        assert_eq!(cm.n_leaves(), 0);
+        assert!(cm.interaction_pairs(1.0, None).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-bin k-d subdivision into coarse base leaves.
+//!
+//! Only the base leaves are retained (no internal hierarchy), exactly as in
+//! the paper: the short-range kernels operate on leaf pairs, so interior
+//! nodes would only be traversal sugar. The split is a median partition
+//! along the longest axis, giving balanced leaves of `target..2*target`
+//! particles.
+
+use crate::aabb::Aabb;
+
+/// A base tree leaf: a contiguous index range into the bin's tree-ordered
+/// particle list, plus its (growable) bounding box.
+#[derive(Debug, Clone)]
+pub struct Leaf {
+    /// First slot in the tree-ordered index array.
+    pub start: u32,
+    /// Number of particles.
+    pub count: u32,
+    /// Bounding box; grows during subcycles via
+    /// [`crate::ChainingMesh::grow_aabbs`].
+    pub aabb: Aabb,
+}
+
+impl Leaf {
+    /// The index-range of this leaf in the tree ordering.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.count) as usize
+    }
+}
+
+/// Recursively median-split `idx` (indices into `positions`) until pieces
+/// have at most `max_leaf` particles, appending finished leaves to `out`.
+///
+/// `base` is the offset of `idx[0]` in the bin-global ordering.
+pub fn build_leaves(
+    positions: &[[f64; 3]],
+    idx: &mut [u32],
+    base: u32,
+    max_leaf: usize,
+    out: &mut Vec<Leaf>,
+) {
+    if idx.is_empty() {
+        return;
+    }
+    if idx.len() <= max_leaf {
+        let mut aabb = Aabb::empty();
+        for &i in idx.iter() {
+            aabb.expand(&positions[i as usize]);
+        }
+        out.push(Leaf {
+            start: base,
+            count: idx.len() as u32,
+            aabb,
+        });
+        return;
+    }
+    // Longest axis of the current point set.
+    let mut aabb = Aabb::empty();
+    for &i in idx.iter() {
+        aabb.expand(&positions[i as usize]);
+    }
+    let axis = aabb.longest_axis();
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        positions[a as usize][axis]
+            .partial_cmp(&positions[b as usize][axis])
+            .expect("NaN position")
+    });
+    let (left, right) = idx.split_at_mut(mid);
+    build_leaves(positions, left, base, max_leaf, out);
+    build_leaves(positions, right, base + mid as u32, max_leaf, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leaves_partition_indices() {
+        let pos = cloud(1000, 1);
+        let mut idx: Vec<u32> = (0..1000).collect();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 64, &mut leaves);
+        // Ranges tile [0, 1000) without gaps or overlap.
+        let mut covered = vec![false; 1000];
+        for leaf in &leaves {
+            for i in leaf.range() {
+                assert!(!covered[i], "slot {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // idx remains a permutation.
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn leaf_sizes_bounded() {
+        let pos = cloud(777, 2);
+        let mut idx: Vec<u32> = (0..777).collect();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 100, &mut leaves);
+        for leaf in &leaves {
+            assert!(leaf.count as usize <= 100);
+            assert!(leaf.count > 0);
+        }
+        // Median splits keep leaves reasonably full: at least max/4.
+        assert!(leaves.iter().all(|l| l.count >= 25));
+    }
+
+    #[test]
+    fn aabbs_contain_their_particles() {
+        let pos = cloud(500, 3);
+        let mut idx: Vec<u32> = (0..500).collect();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 32, &mut leaves);
+        for leaf in &leaves {
+            for slot in leaf.range() {
+                let p = &pos[idx[slot] as usize];
+                assert!(leaf.aabb.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn small_input_single_leaf() {
+        let pos = cloud(5, 4);
+        let mut idx: Vec<u32> = (0..5).collect();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 64, &mut leaves);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].count, 5);
+    }
+
+    #[test]
+    fn empty_input_no_leaves() {
+        let pos: Vec<[f64; 3]> = Vec::new();
+        let mut idx: Vec<u32> = Vec::new();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 64, &mut leaves);
+        assert!(leaves.is_empty());
+    }
+
+    #[test]
+    fn duplicate_positions_handled() {
+        let pos = vec![[1.0, 1.0, 1.0]; 300];
+        let mut idx: Vec<u32> = (0..300).collect();
+        let mut leaves = Vec::new();
+        build_leaves(&pos, &mut idx, 0, 64, &mut leaves);
+        let total: u32 = leaves.iter().map(|l| l.count).sum();
+        assert_eq!(total, 300);
+    }
+}

@@ -1,0 +1,120 @@
+//! Physical constants and unit conversions in HACC-style simulation units.
+//!
+//! Lengths are comoving `Mpc/h`, masses `M_sun/h`, and the Hubble constant
+//! appears only through the dimensionless `h`. Internal gravitational
+//! dynamics use "natural" N-body units where convenient; the conversions
+//! here move between them and physical (cgs-flavored) quantities needed by
+//! the subgrid astrophysics.
+
+/// Newton's constant in `(Mpc/h) (km/s)^2 / (M_sun/h)`.
+///
+/// `G = 4.30091e-9 Mpc km^2 s^-2 M_sun^-1`; the `h` factors cancel in this
+/// combination, so the same numerical value applies in `h`-scaled units.
+pub const G_NEWTON: f64 = 4.300_917_27e-9;
+
+/// Hubble constant in units of `h km/s/Mpc` — definitionally 100.
+pub const H0_HKM_S_MPC: f64 = 100.0;
+
+/// Critical density today in `(M_sun/h) / (Mpc/h)^3`:
+/// `rho_crit = 3 H0^2 / (8 pi G) = 2.77536627e11 h^2 M_sun / Mpc^3`.
+pub const RHO_CRIT0: f64 = 2.775_366_27e11;
+
+/// Speed of light in `km/s`.
+pub const C_KM_S: f64 = 299_792.458;
+
+/// Boltzmann constant in `erg/K`.
+pub const K_BOLTZMANN_ERG_K: f64 = 1.380_649e-16;
+
+/// Proton mass in grams.
+pub const M_PROTON_G: f64 = 1.672_621_924e-24;
+
+/// Solar mass in grams.
+pub const M_SUN_G: f64 = 1.988_47e33;
+
+/// Megaparsec in centimeters.
+pub const MPC_CM: f64 = 3.085_677_581e24;
+
+/// Seconds per gigayear.
+pub const GYR_S: f64 = 3.155_76e16;
+
+/// Mean molecular weight for a fully ionized primordial plasma.
+pub const MU_IONIZED: f64 = 0.588;
+
+/// Mean molecular weight for a neutral primordial gas.
+pub const MU_NEUTRAL: f64 = 1.22;
+
+/// Adiabatic index for a monatomic ideal gas.
+pub const GAMMA_IDEAL: f64 = 5.0 / 3.0;
+
+/// Primordial hydrogen mass fraction.
+pub const HYDROGEN_MASS_FRAC: f64 = 0.76;
+
+/// Solar metallicity (mass fraction of metals), Asplund-like value.
+pub const Z_SOLAR: f64 = 0.0134;
+
+/// Convert specific internal energy `u` in `(km/s)^2` to temperature in K
+/// for a gas with mean molecular weight `mu`:
+/// `T = (gamma-1) * u * mu * m_p / k_B`.
+#[inline]
+pub fn u_to_temperature(u_km2_s2: f64, mu: f64) -> f64 {
+    let u_cgs = u_km2_s2 * 1.0e10; // (km/s)^2 -> (cm/s)^2
+    (GAMMA_IDEAL - 1.0) * u_cgs * mu * M_PROTON_G / K_BOLTZMANN_ERG_K
+}
+
+/// Inverse of [`u_to_temperature`]: temperature in K to specific internal
+/// energy in `(km/s)^2`.
+#[inline]
+pub fn temperature_to_u(t_kelvin: f64, mu: f64) -> f64 {
+    t_kelvin * K_BOLTZMANN_ERG_K / ((GAMMA_IDEAL - 1.0) * mu * M_PROTON_G) * 1.0e-10
+}
+
+/// Convert comoving mass density in `(M_sun/h)/(Mpc/h)^3` to a physical
+/// hydrogen number density in `cm^-3` at scale factor `a`, for reduced
+/// Hubble parameter `h`.
+#[inline]
+pub fn rho_to_nh(rho_comoving: f64, a: f64, h: f64) -> f64 {
+    // Physical density in M_sun/Mpc^3: rho_com * h^2 / a^3.
+    let rho_phys_msun_mpc3 = rho_comoving * h * h / (a * a * a);
+    let rho_g_cm3 = rho_phys_msun_mpc3 * M_SUN_G / (MPC_CM * MPC_CM * MPC_CM);
+    HYDROGEN_MASS_FRAC * rho_g_cm3 / M_PROTON_G
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_crit_consistent_with_g() {
+        // rho_crit = 3 H0^2 / (8 pi G), H0 = 100 h km/s/Mpc.
+        let computed = 3.0 * H0_HKM_S_MPC * H0_HKM_S_MPC
+            / (8.0 * std::f64::consts::PI * G_NEWTON);
+        assert!((computed / RHO_CRIT0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_roundtrip() {
+        let t = 1.5e4;
+        let u = temperature_to_u(t, MU_IONIZED);
+        let back = u_to_temperature(u, MU_IONIZED);
+        assert!((back / t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igm_temperature_scale() {
+        // u ~ 100 (km/s)^2 for an ionized plasma is a few thousand K;
+        // u ~ 1000 (km/s)^2 reaches the warm IGM regime.
+        let t = u_to_temperature(100.0, MU_IONIZED);
+        assert!(t > 1.0e3 && t < 1.0e4, "T = {t}");
+        let t_warm = u_to_temperature(1000.0, MU_IONIZED);
+        assert!(t_warm > 1.0e4 && t_warm < 1.0e5, "T = {t_warm}");
+    }
+
+    #[test]
+    fn mean_density_nh_today() {
+        // Mean baryon density today: Omega_b * rho_crit with Omega_b ~ 0.049,
+        // h = 0.67 gives n_H ~ 1.9e-7 cm^-3 (physical).
+        let rho_b = 0.049 * RHO_CRIT0;
+        let nh = rho_to_nh(rho_b, 1.0, 0.6766);
+        assert!(nh > 1.0e-7 && nh < 3.0e-7, "n_H = {nh}");
+    }
+}

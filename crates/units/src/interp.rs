@@ -1,0 +1,118 @@
+//! Minimal monotone-grid linear interpolation used by the background tables.
+
+/// A table of `(x, y)` samples with strictly increasing `x`, evaluated by
+/// linear interpolation and clamped extrapolation at the ends.
+#[derive(Debug, Clone)]
+pub struct InterpTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl InterpTable {
+    /// Build a table. Panics if lengths differ, fewer than two points are
+    /// given, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(xs.len() >= 2, "need at least two samples");
+        assert!(
+            xs.windows(2).all(|w| w[0] < w[1]),
+            "xs must be strictly increasing"
+        );
+        Self { xs, ys }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the table holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluate at `x`, clamping outside the tabulated range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the bracketing interval.
+        let idx = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("NaN in interp table"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i, // xs[i-1] < x < xs[i]
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The sampled x range.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interpolates_linear_function_exactly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let t = InterpTable::new(xs, ys);
+        for i in 0..90 {
+            let x = i as f64 * 0.1;
+            assert!((t.eval(x) - (2.0 * x + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let t = InterpTable::new(vec![0.0, 1.0], vec![3.0, 5.0]);
+        assert_eq!(t.eval(-10.0), 3.0);
+        assert_eq!(t.eval(10.0), 5.0);
+    }
+
+    #[test]
+    fn exact_at_nodes() {
+        let t = InterpTable::new(vec![0.0, 0.5, 2.0], vec![1.0, -1.0, 4.0]);
+        assert_eq!(t.eval(0.5), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone() {
+        let _ = InterpTable::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_bounded_by_neighbor_values(x in -2.0f64..12.0) {
+            let xs: Vec<f64> = (0..11).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin()).collect();
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let t = InterpTable::new(xs, ys);
+            let v = t.eval(x);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+
+        #[test]
+        fn piecewise_linear_is_monotone_between_nodes(
+            a in 0.0f64..1.0, b in 0.0f64..1.0
+        ) {
+            let t = InterpTable::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(t.eval(lo) <= t.eval(hi) + 1e-15);
+        }
+    }
+}

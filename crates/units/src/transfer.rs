@@ -1,0 +1,84 @@
+//! Eisenstein–Hu (1998) "no-wiggle" matter transfer function.
+//!
+//! The no-wiggle fit captures the baryon suppression of the transfer
+//! function without acoustic oscillations; it is accurate to a few percent
+//! over the scales a survey-volume simulation resolves and is the standard
+//! choice for seeding large-box initial conditions.
+
+use crate::cosmology::CosmologyParams;
+
+/// The Eisenstein–Hu no-wiggle transfer function `T(k)` for wavenumber `k`
+/// in `h/Mpc`. Normalized so `T -> 1` as `k -> 0`.
+pub fn eisenstein_hu_no_wiggle(params: &CosmologyParams, k_h_mpc: f64) -> f64 {
+    if k_h_mpc <= 0.0 {
+        return 1.0;
+    }
+    let h = params.h;
+    let om = params.omega_m * h * h; // omega_m h^2
+    let ob = params.omega_b * h * h; // omega_b h^2
+    let fb = params.omega_b / params.omega_m;
+    let theta = 2.7255 / 2.7; // CMB temperature ratio
+
+    // Sound horizon fit, EH98 eq. 26 (Mpc).
+    let s = 44.5 * (9.83 / om).ln() / (1.0 + 10.0 * ob.powf(0.75)).sqrt();
+    // alpha_gamma, eq. 31.
+    let alpha = 1.0 - 0.328 * (431.0 * om).ln() * fb + 0.38 * (22.3 * om).ln() * fb * fb;
+
+    // k in 1/Mpc for the shape-parameter formula.
+    let k_mpc = k_h_mpc * h;
+    // Effective shape parameter, eq. 30.
+    let gamma_eff = params.omega_m * h
+        * (alpha + (1.0 - alpha) / (1.0 + (0.43 * k_mpc * s).powi(4)));
+
+    // q variable, eq. 28.
+    let q = k_h_mpc * theta * theta / gamma_eff;
+
+    // T0 fit, eqs. 28-29.
+    let l0 = (2.0 * std::f64::consts::E + 1.8 * q).ln();
+    let c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+    l0 / (l0 + c0 * q * q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_at_large_scales() {
+        let c = CosmologyParams::planck2018();
+        assert!((eisenstein_hu_no_wiggle(&c, 1.0e-6) - 1.0).abs() < 1e-3);
+        assert_eq!(eisenstein_hu_no_wiggle(&c, 0.0), 1.0);
+    }
+
+    #[test]
+    fn monotonically_decreasing() {
+        let c = CosmologyParams::planck2018();
+        let mut prev = 2.0;
+        for i in 0..200 {
+            let k = 1.0e-4 * 10f64.powf(i as f64 * 0.025);
+            let t = eisenstein_hu_no_wiggle(&c, k);
+            assert!(t <= prev + 1e-12, "T(k) not decreasing at k={k}");
+            assert!(t > 0.0);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn small_scale_suppression() {
+        let c = CosmologyParams::planck2018();
+        // At k = 1 h/Mpc the transfer function is heavily suppressed.
+        let t = eisenstein_hu_no_wiggle(&c, 1.0);
+        assert!(t < 0.02, "T(1) = {t}");
+        // ... but the asymptotic falloff is ~ln(q)/q^2, not zero.
+        assert!(eisenstein_hu_no_wiggle(&c, 10.0) > 0.0);
+    }
+
+    #[test]
+    fn more_baryons_more_suppression() {
+        let c = CosmologyParams::planck2018();
+        let mut cb = c;
+        cb.omega_b = 0.10;
+        let k = 0.2;
+        assert!(eisenstein_hu_no_wiggle(&cb, k) < eisenstein_hu_no_wiggle(&c, k));
+    }
+}

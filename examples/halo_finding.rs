@@ -1,0 +1,106 @@
+//! In-situ analysis standalone: FOF + DBSCAN halo finding on a synthetic
+//! clustered field (the paper's Section IV-B3 pipeline without the
+//! simulation around it).
+//!
+//! ```sh
+//! cargo run --release --example halo_finding
+//! ```
+
+use frontier_sim::analysis::{dbscan, fof_halos, mass_function, DbscanLabel};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Build a mock density field: NFW-ish halos on a uniform background.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2025);
+    let box_size = 100.0;
+    let mut pos: Vec<[f64; 3]> = Vec::new();
+    let mut halo_truth = Vec::new();
+    for _ in 0..20 {
+        let center = [
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+            rng.gen_range(10.0..90.0),
+        ];
+        let members = rng.gen_range(40..400);
+        let scale: f64 = rng.gen_range(0.3..0.8);
+        halo_truth.push((center, members));
+        for _ in 0..members {
+            // Isotropic with r ~ exponential: centrally concentrated.
+            let r = -scale * rng.gen_range(0.01f64..1.0).ln();
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let phi = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let s = (1.0 - u * u).sqrt();
+            pos.push([
+                (center[0] + r * s * phi.cos()).rem_euclid(box_size),
+                (center[1] + r * s * phi.sin()).rem_euclid(box_size),
+                (center[2] + r * u).rem_euclid(box_size),
+            ]);
+        }
+    }
+    // Diffuse background (should classify as noise / field particles).
+    for _ in 0..3000 {
+        pos.push([
+            rng.gen_range(0.0..box_size),
+            rng.gen_range(0.0..box_size),
+            rng.gen_range(0.0..box_size),
+        ]);
+    }
+    let n = pos.len();
+    let vel = vec![[0.0; 3]; n];
+    let mass = vec![1.0e10; n]; // 1e10 Msun/h per particle
+
+    println!("mock field: {n} particles, 20 true halos + 3000 field particles");
+
+    // --- FOF ---
+    let b_link = 0.25;
+    let halos = fof_halos(&pos, &vel, &mass, b_link, 20);
+    println!("\n-- friends-of-friends (b = {b_link}) --");
+    println!("  found {} halos (true: 20)", halos.len());
+    for (i, h) in halos.iter().take(5).enumerate() {
+        println!(
+            "  #{i}: mass {:.2e} Msun/h, {} members, center ({:.1}, {:.1}, {:.1})",
+            h.mass,
+            h.members.len(),
+            h.center[0],
+            h.center[1],
+            h.center[2]
+        );
+    }
+
+    // --- Mass function ---
+    let volume = box_size * box_size * box_size;
+    let mf = mass_function(&halos, volume, 11.0, 13.0, 6);
+    println!("\n-- halo mass function --");
+    for b in mf.iter().filter(|b| b.count > 0) {
+        println!(
+            "  log10(M) = {:>5.2}: {:>3} halos, dn/dlogM = {:.2e} (Mpc/h)^-3 dex^-1",
+            b.log10_mass, b.count, b.dn_dlogm
+        );
+    }
+
+    // --- DBSCAN ---
+    let labels = dbscan(&pos, 0.4, 8);
+    let n_clusters = labels
+        .iter()
+        .filter_map(|l| l.cluster())
+        .max()
+        .map(|c| c + 1)
+        .unwrap_or(0);
+    let noise = labels.iter().filter(|l| **l == DbscanLabel::Noise).count();
+    let core = labels
+        .iter()
+        .filter(|l| matches!(l, DbscanLabel::Core(_)))
+        .count();
+    println!("\n-- DBSCAN (eps = 0.4, minPts = 8) --");
+    println!("  clusters: {n_clusters}   core points: {core}   noise: {noise}");
+    println!(
+        "  background rejection: {:.1}% of field particles labeled noise",
+        100.0 * noise.min(3000) as f64 / 3000.0
+    );
+
+    // Frontier-E context.
+    println!(
+        "\n(Frontier-E finds ~570,000 galaxy clusters in situ with this pipeline, \
+         vs fewer than 50,000 observed)"
+    );
+}

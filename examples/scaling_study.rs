@@ -1,0 +1,122 @@
+//! Weak/strong scaling study (Fig. 4) plus the warp-splitting and
+//! device-portability measurements, as a runnable program.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use frontier_sim::core::scaling::{
+    extrapolate_rate, frontier_per_rank_rate, oversubscription, strong_scaling, weak_scaling,
+};
+use frontier_sim::core::{Physics, SimConfig};
+use frontier_sim::gpusim::{DeviceSpec, ExecMode, ExecutionModel};
+
+fn main() {
+    let mut base = SimConfig::small(8);
+    base.physics = Physics::GravityOnly;
+    base.pm_steps = 1;
+    base.max_rung = 0;
+    base.analysis_every = 0;
+    base.checkpoint_every = 0;
+
+    let ranks = [1usize, 2, 4];
+    println!("== weak scaling (per-rank load fixed) ==");
+    println!("   core oversubscription at {} ranks: {:.0}x", ranks[2], oversubscription(ranks[2]));
+    for p in weak_scaling(&base, 8, &ranks) {
+        println!(
+            "  ranks {:>2}: {:>8} particles, {:>8.3} s solver, {:.2e} p/s, raw {:>4.0}%, core-adj {:>4.0}%",
+            p.ranks,
+            p.particles,
+            p.solver_seconds,
+            p.particles_per_second,
+            p.efficiency * 100.0,
+            p.adjusted_efficiency * 100.0
+        );
+    }
+
+    println!("\n== strong scaling (total problem fixed) ==");
+    for p in strong_scaling(&base, 12, &ranks) {
+        println!(
+            "  ranks {:>2}: {:>8.3} s solver, raw {:>4.0}%, core-adj {:>4.0}%",
+            p.ranks,
+            p.solver_seconds,
+            p.efficiency * 100.0,
+            p.adjusted_efficiency * 100.0
+        );
+    }
+
+    println!("\n== machine extrapolation ==");
+    println!(
+        "  paper inputs -> {:.3e} particles/s (headline: 4.66e10)",
+        extrapolate_rate(frontier_per_rank_rate(), 72_000, 0.95)
+    );
+
+    // Device portability snapshot (Fig. 6 left, via the execution model).
+    println!("\n== warp-split kernel across vendors ==");
+    let cloud = hacc_bench_cloud(12_000, 23.0);
+    for dev in DeviceSpec::catalog() {
+        let counters = sph_counters(&cloud, 23.0, dev, ExecMode::WarpSplit);
+        let naive = sph_counters(&cloud, 23.0, dev, ExecMode::Naive);
+        let model = ExecutionModel::new(dev);
+        println!(
+            "  {:<28} util {:>5.1}%  split speedup {:>4.2}x",
+            dev.name,
+            model.utilization(&counters) * 100.0,
+            model.kernel_time_s(&naive) / model.kernel_time_s(&counters)
+        );
+    }
+}
+
+/// Local uniform-cloud helper (examples cannot depend on the bench crate).
+fn hacc_bench_cloud(n: usize, extent: f64) -> Vec<[f64; 3]> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..extent),
+                rng.gen_range(0.0..extent),
+                rng.gen_range(0.0..extent),
+            ]
+        })
+        .collect()
+}
+
+fn sph_counters(
+    positions: &[[f64; 3]],
+    extent: f64,
+    device: DeviceSpec,
+    mode: ExecMode,
+) -> frontier_sim::gpusim::KernelCounters {
+    use frontier_sim::sph::pipeline::{sph_step, SphConfig, SphInput};
+    use frontier_sim::sph::CubicSpline;
+    use frontier_sim::tree::{ChainingMesh, CmConfig};
+    let n = positions.len();
+    let vel = vec![[0.0; 3]; n];
+    let mass = vec![1.0; n];
+    let spacing = extent / (n as f64).cbrt();
+    let h = vec![1.3 * spacing; n];
+    let u = vec![10.0; n];
+    let cm = ChainingMesh::build(
+        positions,
+        [0.0; 3],
+        [extent; 3],
+        &CmConfig {
+            bin_width: 6.3 * spacing,
+            max_leaf: 128,
+        },
+    );
+    let cfg: SphConfig<CubicSpline> = SphConfig {
+        device,
+        mode,
+        ..SphConfig::new()
+    };
+    let input = SphInput {
+        pos: positions,
+        vel: &vel,
+        mass: &mass,
+        h: &h,
+        u: &u,
+    };
+    sph_step(&input, &cm, &cfg).counters.merged()
+}

@@ -1,0 +1,138 @@
+//! Multi-wavelength mock products: evolve a box, then build the SZ
+//! (Compton-y) and X-ray maps plus an HOD galaxy catalog — the paper's
+//! "full-sky, multi-wavelength predictions" pipeline at miniature scale.
+//!
+//! ```sh
+//! cargo run --release --example sky_maps
+//! ```
+
+use frontier_sim::analysis::{
+    compton_y_map, correlation_function, fof_halos, populate, xray_map, HodParams,
+};
+use frontier_sim::core::{run_simulation, Physics, SimConfig};
+use frontier_sim::iosim::TieredWriter;
+
+fn main() {
+    // Evolve a small full-physics box and keep its checkpoints.
+    let mut cfg = SimConfig::small(14);
+    cfg.physics = Physics::Hydro;
+    cfg.pm_steps = 6;
+    cfg.a_init = 0.12;
+    cfg.a_final = 0.4;
+    let out = std::env::temp_dir().join(format!("sky-maps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    cfg.io_dir = Some(out.clone());
+    println!(
+        "evolving {} particles to z = {:.1}...",
+        cfg.total_particles(),
+        1.0 / cfg.a_final - 1.0
+    );
+    let report = run_simulation(&cfg, 2);
+
+    // Reload the final state from the checkpoints.
+    let mut pos = Vec::new();
+    let mut vel = Vec::new();
+    let mut mass = Vec::new();
+    let mut u = Vec::new();
+    let mut h = Vec::new();
+    let mut species = Vec::new();
+    for r in 0..2 {
+        let pfs = out.join("pfs").join(format!("rank-{r}"));
+        let (_, blocks) = TieredWriter::load_latest_valid(&pfs).unwrap();
+        let f = |name: &str| -> Vec<f64> {
+            blocks.iter().find(|b| b.name == name).unwrap().as_f64()
+        };
+        let (x, y, z) = (f("x"), f("y"), f("z"));
+        let (vx, vy, vz) = (f("vx"), f("vy"), f("vz"));
+        for i in 0..x.len() {
+            pos.push([x[i], y[i], z[i]]);
+            vel.push([vx[i], vy[i], vz[i]]);
+        }
+        mass.extend(f("mass"));
+        u.extend(f("u"));
+        h.extend(f("h"));
+        species.extend(
+            blocks
+                .iter()
+                .find(|b| b.name == "species")
+                .unwrap()
+                .as_u64(),
+        );
+    }
+    println!("loaded {} particles from the final checkpoint", pos.len());
+
+    // Gas-only views for the maps.
+    let gas: Vec<usize> = (0..pos.len()).filter(|&i| species[i] == 1).collect();
+    let gpos: Vec<[f64; 3]> = gas.iter().map(|&i| pos[i]).collect();
+    let gmass: Vec<f64> = gas.iter().map(|&i| mass[i]).collect();
+    let gu: Vec<f64> = gas.iter().map(|&i| u[i]).collect();
+    // Density proxy from the smoothing lengths: rho ~ m (eta/h)^3.
+    let grho: Vec<f64> = gas
+        .iter()
+        .map(|&i| mass[i] * (1.6 / h[i].max(1e-6)).powi(3))
+        .collect();
+
+    let n_pix = 96;
+    let y_map = compton_y_map(&gpos, &gmass, &gu, cfg.box_size, n_pix);
+    let x_map = xray_map(&gpos, &gmass, &grho, &gu, cfg.box_size, n_pix);
+    println!("\n-- mm-wave (Compton-y) --");
+    println!(
+        "  mean {:.3e}  peak {:.3e}  top-1% share {:.1}%",
+        y_map.mean(),
+        y_map.max(),
+        y_map.concentration(0.01) * 100.0
+    );
+    println!("-- X-ray surface brightness --");
+    println!(
+        "  mean {:.3e}  peak {:.3e}  top-1% share {:.1}%",
+        x_map.mean(),
+        x_map.max(),
+        x_map.concentration(0.01) * 100.0
+    );
+    println!(
+        "  (X-ray concentrates harder than SZ: emissivity ~ rho^2 vs pressure ~ rho T)"
+    );
+
+    // HOD galaxies on the final halo catalog.
+    let b_link = 0.2 * cfg.particle_spacing();
+    let halos = fof_halos(&pos, &vel, &mass, b_link, 10);
+    let m_min = mass.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut hod = HodParams::fiducial();
+    hod.log_m_min = (20.0 * m_min).log10();
+    hod.log_m0 = hod.log_m_min + 0.2;
+    hod.log_m1 = hod.log_m_min + 1.0;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let gals = populate(&mut rng, &halos, &hod, |_| cfg.particle_spacing());
+    println!("\n-- mock galaxy catalog (HOD) --");
+    println!(
+        "  {} halos -> {} galaxies ({} centrals, {} satellites)",
+        halos.len(),
+        gals.len(),
+        gals.iter().filter(|g| g.central).count(),
+        gals.iter().filter(|g| !g.central).count()
+    );
+
+    // Galaxy clustering, if the sample allows.
+    if gals.len() > 30 {
+        let gpos: Vec<[f64; 3]> = gals
+            .iter()
+            .map(|g| {
+                [
+                    g.pos[0].rem_euclid(cfg.box_size),
+                    g.pos[1].rem_euclid(cfg.box_size),
+                    g.pos[2].rem_euclid(cfg.box_size),
+                ]
+            })
+            .collect();
+        let xi = correlation_function(&gpos, cfg.box_size, 0.3, 4.0, 5);
+        println!("  galaxy xi(r):");
+        for b in &xi {
+            println!("    r = {:>5.2} Mpc/h: xi = {:+.2} ({} pairs)", b.r, b.xi, b.dd);
+        }
+    }
+    println!(
+        "\n(the paper's in-situ pipeline produces these products for ~570,000 clusters, full-sky)"
+    );
+    println!("run report: {} halos in-situ, {} stars formed", report.n_halos, report.total_stars);
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -1,0 +1,233 @@
+//! `frontier-sim` — command-line driver for the CRK-HACC reproduction.
+//!
+//! ```text
+//! frontier-sim run   [--np N] [--ranks R] [--steps S] [--physics hydro|adiabatic|gravity]
+//!                    [--zi Z] [--zf Z] [--seed S] [--out DIR] [--flat] [--resume]
+//! frontier-sim scaling [--ranks-max R]
+//! frontier-sim info
+//! ```
+
+use frontier_sim::core::scaling::{strong_scaling, weak_scaling};
+use frontier_sim::core::timers::PHASES;
+use frontier_sim::core::{resume_simulation, run_simulation, Physics, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("scaling") => cmd_scaling(&args[1..]),
+        Some("info") => cmd_info(),
+        _ => {
+            eprintln!(
+                "usage: frontier-sim <run|scaling|info> [options]\n\
+                 \n\
+                 run options:\n\
+                 \x20 --np N          particles per dimension per species (default 12)\n\
+                 \x20 --ranks R       simulated ranks (default 2)\n\
+                 \x20 --steps S       global PM steps (default 4)\n\
+                 \x20 --physics P     hydro | adiabatic | gravity (default hydro)\n\
+                 \x20 --zi Z          initial redshift (default 9)\n\
+                 \x20 --zf Z          final redshift (default 4)\n\
+                 \x20 --seed S        RNG seed\n\
+                 \x20 --out DIR       I/O directory (enables restart)\n\
+                 \x20 --flat          synchronized deepest-rung stepping\n\
+                 \x20 --resume        resume from the newest checkpoint in --out\n\
+                 \n\
+                 scaling options:\n\
+                 \x20 --ranks-max R   largest rank count in the sweep (default 4)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            if let Some(v) = it.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            }
+        }
+    }
+    default
+}
+
+fn cmd_run(args: &[String]) {
+    let np: usize = parse_opt(args, "--np", 12);
+    let ranks: usize = parse_opt(args, "--ranks", 2);
+    let steps: usize = parse_opt(args, "--steps", 4);
+    let physics = match parse_opt(args, "--physics", "hydro".to_string()).as_str() {
+        "hydro" => Physics::Hydro,
+        "adiabatic" => Physics::HydroAdiabatic,
+        "gravity" => Physics::GravityOnly,
+        other => {
+            eprintln!("unknown physics {other:?} (hydro|adiabatic|gravity)");
+            std::process::exit(2);
+        }
+    };
+    let zi: f64 = parse_opt(args, "--zi", 9.0);
+    let zf: f64 = parse_opt(args, "--zf", 4.0);
+
+    let mut cfg = SimConfig::small(np);
+    cfg.physics = physics;
+    cfg.pm_steps = steps;
+    cfg.a_init = 1.0 / (1.0 + zi);
+    cfg.a_final = 1.0 / (1.0 + zf);
+    cfg.seed = parse_opt(args, "--seed", cfg.seed);
+    cfg.flat_stepping = parse_flag(args, "--flat");
+    let out: String = parse_opt(args, "--out", String::new());
+    if !out.is_empty() {
+        cfg.io_dir = Some(out.clone().into());
+    }
+
+    println!(
+        "frontier-sim: {} particles, {:.0} Mpc/h box, {} PM steps, z = {:.1} -> {:.1}, {} ranks",
+        cfg.total_particles(),
+        cfg.box_size,
+        cfg.pm_steps,
+        zi,
+        zf,
+        ranks
+    );
+    let t0 = std::time::Instant::now();
+    let report = if parse_flag(args, "--resume") {
+        if cfg.io_dir.is_none() {
+            eprintln!("--resume requires --out DIR");
+            std::process::exit(2);
+        }
+        resume_simulation(&cfg, ranks)
+    } else {
+        run_simulation(&cfg, ranks)
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!("\ncompleted {} step(s) in {wall:.1} s", report.steps.len());
+    println!("\nphase breakdown:");
+    for (phase, frac) in report.timers.fractions() {
+        let name = PHASES
+            .iter()
+            .find(|p| **p == phase)
+            .map(|p| p.name())
+            .unwrap_or("?");
+        println!("  {name:<12} {:>5.1}%", frac * 100.0);
+    }
+    println!("\nper-kernel profile (modeled on {}):", 
+        frontier_sim::gpusim::DeviceSpec::mi250x_gcd().name);
+    let model = frontier_sim::gpusim::ExecutionModel::new(
+        frontier_sim::gpusim::DeviceSpec::mi250x_gcd(),
+    );
+    for r in report.profile.rows(&model) {
+        println!(
+            "  {:<18} {:>10.2e} FLOPs  {:>9.2e} pairs  {:>5.1}% util  {:>5.1}% of time",
+            r.name,
+            r.flops as f64,
+            r.pairs as f64,
+            r.utilization * 100.0,
+            r.time_share * 100.0
+        );
+    }
+    println!("\nsolver:");
+    println!("  FLOPs            : {:.3e}", report.counters.flops);
+    println!("  pair interactions: {:.3e}", report.counters.pairs);
+    println!(
+        "  particles/s      : {:.3e}",
+        report.particles_per_second
+    );
+    let mean_util =
+        report.utilizations.iter().sum::<f64>() / report.utilizations.len().max(1) as f64;
+    println!("  mean utilization : {:.1}% (modeled)", mean_util * 100.0);
+    if report.io.checkpoints > 0 {
+        println!("\nI/O (modeled at 9,000 nodes):");
+        println!("  checkpoints      : {}", report.io.checkpoints);
+        println!(
+            "  effective BW     : {:.1} TB/s",
+            report.io.effective_bandwidth_tbs()
+        );
+    }
+    println!("\nscience:");
+    println!("  FOF halos        : {}", report.n_halos);
+    println!("  HOD galaxies     : {}", report.n_galaxies);
+    println!("  stars formed     : {}", report.total_stars);
+    println!(
+        "  SZ concentration : {:.2} (top-1% pixel share)",
+        report.y_map_concentration
+    );
+    if let Some(b) = report.power.first() {
+        println!(
+            "  P(k={:.3})        : {:.3e} (Mpc/h)^3",
+            b.k, b.power
+        );
+    }
+    if let Some(x) = report.xi.first() {
+        println!("  xi(r={:.2})        : {:.3}", x.r, x.xi);
+    }
+}
+
+fn cmd_scaling(args: &[String]) {
+    let rmax: usize = parse_opt(args, "--ranks-max", 4);
+    let mut ranks = vec![1usize];
+    while *ranks.last().unwrap() * 2 <= rmax {
+        ranks.push(ranks.last().unwrap() * 2);
+    }
+    let mut base = SimConfig::small(8);
+    base.physics = Physics::GravityOnly;
+    base.pm_steps = 1;
+    base.max_rung = 0;
+    base.analysis_every = 0;
+    base.checkpoint_every = 0;
+
+    println!("weak scaling:");
+    for p in weak_scaling(&base, 8, &ranks) {
+        println!(
+            "  ranks {:>3}: {:.2e} p/s, raw {:>4.0}%, core-adjusted {:>4.0}%",
+            p.ranks,
+            p.particles_per_second,
+            p.efficiency * 100.0,
+            p.adjusted_efficiency * 100.0
+        );
+    }
+    println!("strong scaling:");
+    for p in strong_scaling(&base, 12, &ranks) {
+        println!(
+            "  ranks {:>3}: {:.3} s solver, raw {:>4.0}%, core-adjusted {:>4.0}%",
+            p.ranks,
+            p.solver_seconds,
+            p.efficiency * 100.0,
+            p.adjusted_efficiency * 100.0
+        );
+    }
+}
+
+fn cmd_info() {
+    let paper = SimConfig::frontier_e();
+    println!("frontier-sim — CRK-HACC / Frontier-E reproduction");
+    println!("\npaper configuration (documented, not locally runnable):");
+    println!("  particles : {:.2e}", paper.total_particles() as f64);
+    println!(
+        "  box       : {:.0} Mpc/h ({:.1} Gpc)",
+        paper.box_size,
+        paper.box_size / 1000.0 / paper.cosmology.h
+    );
+    println!("  PM mesh   : {}^3", paper.ngrid);
+    println!("  PM steps  : {}", paper.pm_steps);
+    println!("\ndevice catalog:");
+    for d in frontier_sim::gpusim::DeviceSpec::catalog() {
+        println!(
+            "  {:<28} warp {:>2}, {:>5.1} TFLOPs FP32",
+            d.name, d.warp_width, d.peak_tflops_fp32
+        );
+    }
+    println!(
+        "\nFrontier partition peak: {:.3} EFLOPs FP32 (9,000 nodes x 8 GCDs)",
+        frontier_sim::gpusim::device::frontier::partition_peak_pflops() / 1000.0
+    );
+}

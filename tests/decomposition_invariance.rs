@@ -1,0 +1,85 @@
+//! Integration: physics must not depend on the rank decomposition.
+//!
+//! The same initial conditions evolved on 1, 2, and 4 ranks should give
+//! closely matching observables. Exact bitwise agreement is not expected
+//! — ghost staleness within a PM step differs between decompositions —
+//! but power spectra, momentum, and conservation diagnostics must agree
+//! to well within physical tolerances.
+
+use frontier_sim::core::{run_simulation, Physics, SimConfig, SimReport};
+
+fn cfg() -> SimConfig {
+    let mut c = SimConfig::small(10);
+    c.physics = Physics::GravityOnly;
+    c.pm_steps = 2;
+    c.max_rung = 0;
+    c.analysis_every = 0;
+    c.checkpoint_every = 0;
+    c.seed = 777;
+    c
+}
+
+fn run(ranks: usize) -> SimReport {
+    run_simulation(&cfg(), ranks)
+}
+
+#[test]
+fn power_spectrum_rank_invariant() {
+    let r1 = run(1);
+    let r2 = run(2);
+    let r4 = run(4);
+    assert_eq!(r1.power.len(), r2.power.len());
+    for ((a, b), c) in r1.power.iter().zip(&r2.power).zip(&r4.power) {
+        assert_eq!(a.modes, b.modes);
+        assert_eq!(a.modes, c.modes);
+        let rel12 = (a.power - b.power).abs() / a.power.max(1e-30);
+        let rel14 = (a.power - c.power).abs() / a.power.max(1e-30);
+        assert!(
+            rel12 < 0.05,
+            "P(k={:.3}) differs 1 vs 2 ranks by {:.1}%",
+            a.k,
+            rel12 * 100.0
+        );
+        assert!(
+            rel14 < 0.05,
+            "P(k={:.3}) differs 1 vs 4 ranks by {:.1}%",
+            a.k,
+            rel14 * 100.0
+        );
+    }
+}
+
+#[test]
+fn momentum_conservation_rank_invariant() {
+    for ranks in [1usize, 2, 4] {
+        let r = run(ranks);
+        let net = (r.total_momentum.iter().map(|p| p * p).sum::<f64>()).sqrt();
+        assert!(
+            net < 0.05 * r.momentum_scale,
+            "{ranks} ranks: net momentum {net:.3e} vs scale {:.3e}",
+            r.momentum_scale
+        );
+    }
+}
+
+#[test]
+fn particle_count_rank_invariant() {
+    for ranks in [1usize, 2, 4] {
+        let r = run(ranks);
+        assert_eq!(r.total_particles, 1000);
+        let last = r.steps.last().unwrap();
+        assert_eq!(last.particles, 1000, "{ranks} ranks lost particles");
+    }
+}
+
+#[test]
+fn flop_counts_rank_invariant_to_leading_order() {
+    // The short-range pair work is decomposition-independent up to the
+    // duplicated ghost-pair evaluations at rank boundaries.
+    let f1 = run(1).counters.pairs as f64;
+    let f2 = run(2).counters.pairs as f64;
+    assert!(
+        f2 >= f1 * 0.9 && f2 <= f1 * 3.0,
+        "pair counts diverged: 1 rank {f1:.3e}, 2 ranks {f2:.3e}"
+    );
+}

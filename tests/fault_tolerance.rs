@@ -1,0 +1,138 @@
+//! Integration: end-to-end interrupt-and-resume.
+//!
+//! The paper checkpoints after *every* PM step precisely so the 196-hour
+//! campaign survives Frontier's few-hour MTTI. Here we run a campaign,
+//! "crash" it partway, resume from the newest CRC-valid checkpoint, and
+//! verify the resumed run reaches the same final state as an
+//! uninterrupted one.
+
+use frontier_sim::core::{resume_simulation, run_simulation, Physics, SimConfig};
+
+fn cfg(tag: &str, steps: usize) -> (SimConfig, std::path::PathBuf) {
+    let mut c = SimConfig::small(8);
+    c.physics = Physics::GravityOnly; // no stochastic subgrid: exact compare
+    c.pm_steps = steps;
+    c.max_rung = 0;
+    c.analysis_every = 0;
+    c.checkpoint_every = 1;
+    c.checkpoint_window = 16; // keep everything: the test prunes by hand
+    c.seed = 1234;
+    let dir = std::env::temp_dir().join(format!(
+        "frontier-ft-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    c.io_dir = Some(dir.clone());
+    (c, dir)
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted() {
+    let ranks = 2;
+    // Reference: 4 steps straight through (in its own directory).
+    let (cfg_ref, dir_ref) = cfg("ref", 4);
+    let reference = run_simulation(&cfg_ref, ranks);
+
+    // Interrupted: an identical 4-step run whose post-crash checkpoints
+    // we delete, emulating a machine interrupt after step 1's checkpoint
+    // landed on the PFS.
+    let (cfg_crash, dir_crash) = cfg("crash", 4);
+    run_simulation(&cfg_crash, ranks);
+    for r in 0..ranks {
+        let pfs = dir_crash.join("pfs").join(format!("rank-{r}"));
+        for e in std::fs::read_dir(&pfs).unwrap().flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if let Some(step) = frontier_sim::iosim::TieredWriter::parse_step(&name) {
+                if step > 1 {
+                    std::fs::remove_file(e.path()).unwrap();
+                }
+            }
+        }
+    }
+    let resumed = resume_simulation(&cfg_crash, ranks);
+
+    // The resumed run executed only the remaining steps...
+    assert_eq!(resumed.steps.len(), 2, "resume should run steps 2 and 3");
+    assert_eq!(resumed.steps[0].step, 2);
+
+    // ...and lands on the same physical state: same P(k) to roundoff
+    // (gravity-only dynamics is deterministic given the checkpointed
+    // state; the only differences are FP reassociation across the
+    // restart boundary).
+    assert_eq!(reference.power.len(), resumed.power.len());
+    for (a, b) in reference.power.iter().zip(&resumed.power) {
+        assert_eq!(a.modes, b.modes);
+        let rel = (a.power - b.power).abs() / a.power.max(1e-30);
+        assert!(
+            rel < 1e-6,
+            "P(k={:.3}) diverged after resume: rel {rel:.2e}",
+            a.k
+        );
+    }
+    // Momentum diagnostics agree too.
+    for d in 0..3 {
+        let diff = (reference.total_momentum[d] - resumed.total_momentum[d]).abs();
+        assert!(
+            diff < 1e-6 * reference.momentum_scale.max(1.0),
+            "momentum diverged in component {d}"
+        );
+    }
+    let _ = (std::fs::remove_dir_all(&dir_ref), std::fs::remove_dir_all(&dir_crash));
+}
+
+#[test]
+fn resume_skips_torn_checkpoint() {
+    let ranks = 1;
+    let (mut c, dir) = cfg("torn", 3);
+    run_simulation(&c, ranks);
+    // Corrupt the newest checkpoint on the PFS: the resume must fall
+    // back to the previous one and redo the lost step.
+    let pfs = dir.join("pfs").join("rank-0");
+    let (latest, path) =
+        frontier_sim::iosim::TieredWriter::latest_checkpoint(&pfs).unwrap();
+    assert_eq!(latest, 2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).unwrap();
+
+    c.pm_steps = 4;
+    let resumed = resume_simulation(&c, ranks);
+    // Fell back to checkpoint 1 -> redoes steps 2 and 3.
+    assert_eq!(resumed.steps.len(), 2);
+    assert_eq!(resumed.steps[0].step, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hydro_state_survives_resume() {
+    // Full-physics state (u, metals, h, species) must roundtrip through
+    // the checkpoint: resumed runs keep the thermal history.
+    let ranks = 1;
+    let (mut c, dir) = cfg("hydro", 2);
+    c.physics = Physics::Hydro;
+    c.max_rung = 1;
+    run_simulation(&c, ranks);
+    c.pm_steps = 3;
+    let resumed = resume_simulation(&c, ranks);
+    assert_eq!(resumed.steps.len(), 1);
+    assert_eq!(resumed.steps[0].step, 2);
+    // Final checkpoint has gas with positive u and the right species mix.
+    let pfs = dir.join("pfs").join("rank-0");
+    let (_, blocks) =
+        frontier_sim::iosim::TieredWriter::load_latest_valid(&pfs).unwrap();
+    let species = blocks
+        .iter()
+        .find(|b| b.name == "species")
+        .unwrap()
+        .as_u64();
+    let u = blocks.iter().find(|b| b.name == "u").unwrap().as_f64();
+    let n_gas = species.iter().filter(|&&s| s == 1).count();
+    assert!(n_gas > 0, "gas lost through resume");
+    for (sp, uu) in species.iter().zip(&u) {
+        if *sp == 1 {
+            assert!(*uu > 0.0, "gas with zero internal energy after resume");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

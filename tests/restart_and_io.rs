@@ -1,0 +1,101 @@
+//! Integration: the simulation's checkpoints are complete, CRC-valid,
+//! restartable artifacts on the (simulated) PFS.
+
+use frontier_sim::core::{run_simulation, Physics, SimConfig};
+use frontier_sim::iosim::TieredWriter;
+
+fn io_cfg(tag: &str) -> (SimConfig, std::path::PathBuf) {
+    let mut cfg = SimConfig::small(8);
+    cfg.physics = Physics::HydroAdiabatic;
+    cfg.pm_steps = 3;
+    cfg.max_rung = 1;
+    cfg.analysis_every = 0;
+    cfg.checkpoint_every = 1;
+    let dir = std::env::temp_dir().join(format!(
+        "frontier-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    cfg.io_dir = Some(dir.clone());
+    (cfg, dir)
+}
+
+#[test]
+fn checkpoints_land_on_pfs_and_reload() {
+    let (cfg, dir) = io_cfg("reload");
+    let ranks = 2;
+    let report = run_simulation(&cfg, ranks);
+    assert_eq!(report.io.checkpoints, cfg.pm_steps as u64);
+
+    let mut total_particles = 0;
+    for r in 0..ranks {
+        let pfs = dir.join("pfs").join(format!("rank-{r}"));
+        let (step, blocks) =
+            TieredWriter::load_latest_valid(&pfs).expect("restartable checkpoint");
+        assert_eq!(step, cfg.pm_steps as u64 - 1);
+        // The full field set survives the roundtrip.
+        let names: Vec<&str> = blocks.iter().map(|b| b.name.as_str()).collect();
+        for f in ["x", "y", "z", "vx", "vy", "vz", "mass", "u", "id"] {
+            assert!(names.contains(&f), "missing field {f}");
+        }
+        let x = blocks.iter().find(|b| b.name == "x").unwrap().as_f64();
+        // Positions are inside the periodic box.
+        assert!(x.iter().all(|&v| v >= 0.0 && v < cfg.box_size));
+        total_particles += x.len();
+    }
+    assert_eq!(total_particles as u64, cfg.total_particles());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_window_prunes_old_steps() {
+    let (mut cfg, dir) = io_cfg("prune");
+    cfg.pm_steps = 5;
+    run_simulation(&cfg, 1);
+    let pfs = dir.join("pfs").join("rank-0");
+    let mut steps: Vec<u64> = std::fs::read_dir(&pfs)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| TieredWriter::parse_step(&e.file_name().to_string_lossy()))
+        .collect();
+    steps.sort_unstable();
+    // Window of 2 (the Frontier config): only the last two checkpoints.
+    assert_eq!(steps, vec![3, 4], "pruning left {steps:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_falls_back_to_previous() {
+    let (mut cfg, dir) = io_cfg("fallback");
+    cfg.pm_steps = 4;
+    run_simulation(&cfg, 1);
+    let pfs = dir.join("pfs").join("rank-0");
+    let (latest, path) = TieredWriter::latest_checkpoint(&pfs).unwrap();
+    assert_eq!(latest, 3);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&path, bytes).unwrap();
+    let (step, _) = TieredWriter::load_latest_valid(&pfs).unwrap();
+    assert_eq!(step, 2, "must fall back past the torn checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ids_conserved_through_the_full_run() {
+    let (cfg, dir) = io_cfg("ids");
+    let ranks = 2;
+    run_simulation(&cfg, ranks);
+    let mut ids = Vec::new();
+    for r in 0..ranks {
+        let pfs = dir.join("pfs").join(format!("rank-{r}"));
+        let (_, blocks) = TieredWriter::load_latest_valid(&pfs).unwrap();
+        ids.extend(blocks.iter().find(|b| b.name == "id").unwrap().as_u64());
+    }
+    ids.sort_unstable();
+    let before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate particle ids after migration");
+    assert_eq!(ids.len() as u64, cfg.total_particles());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,7 +8,7 @@
 //! (ArborX/Karras) while staying simple enough to verify exhaustively.
 
 use hacc_tree::Aabb;
-use rayon::prelude::*;
+use hacc_rt::par::prelude::*;
 
 /// Expand a 10-bit integer to every third bit position.
 #[inline]
@@ -293,8 +293,8 @@ impl Lbvh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::prop::prelude::*;
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn cloud(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -75,7 +75,7 @@ pub fn dbscan(points: &[[f64; 3]], eps: f64, min_pts: usize) -> Vec<DbscanLabel>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn blob(c: [f64; 3], n: usize, r: f64, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -13,7 +13,7 @@
 //! radial profile scaled by a size proxy.
 
 use crate::fof::Halo;
-use rand::Rng;
+use hacc_rt::rand::Rng;
 
 /// A mock galaxy.
 #[derive(Debug, Clone, Copy)]
@@ -178,7 +178,7 @@ fn poisson_draw<R: Rng>(rng: &mut R, lambda: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hacc_rt::rand::{self, SeedableRng};
 
     fn halo(mass: f64, center: [f64; 3]) -> Halo {
         Halo {

@@ -99,7 +99,7 @@ mod tests {
     use super::*;
     use hacc_ranks::World;
     use hacc_swfft::DistFft3d;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     /// Build delta(x) on the full grid, run the distributed FFT, measure.
     fn measure_field<F: Fn(usize, usize, usize) -> f64 + Sync>(

@@ -116,7 +116,7 @@ pub fn density_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     /// A uniform-density ball of radius R: analytic SO radius known.
     fn ball(n: usize, radius: f64, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {

@@ -79,7 +79,7 @@ pub fn correlation_function(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn poisson(n: usize, l: f64, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -12,7 +12,7 @@ use hacc_bench::{compare, print_table};
 use hacc_grav::ForceSplitTable;
 use hacc_mesh::{PmConfig, PmSolver};
 use hacc_ranks::World;
-use rand::{Rng, SeedableRng};
+use hacc_rt::rand::{self, Rng, SeedableRng};
 
 fn main() {
     let n_grid = 32;

@@ -4,7 +4,7 @@
 use hacc_bench::{compare, print_table};
 use hacc_iosim::format::Block;
 use hacc_iosim::{simulate_run, FaultInjector, TieredConfig, TieredWriter};
-use rand::SeedableRng;
+use hacc_rt::rand::{self, SeedableRng};
 
 fn main() {
     // --- Tiered vs direct blocking time at Frontier parameters ---

@@ -8,7 +8,7 @@
 
 use hacc_bench::{compare, print_table, uniform_cloud};
 use hacc_tree::{ChainingMesh, CmConfig};
-use rand::{Rng, SeedableRng};
+use hacc_rt::rand::{self, Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {

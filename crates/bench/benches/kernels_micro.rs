@@ -2,7 +2,7 @@
 //! CIC deposit, tree build, the CRKSPH pipeline, FOF, and CRC32 — the
 //! per-component performance baseline behind every figure.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hacc_rt::bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hacc_bench::{sph_workload, uniform_cloud};
 use hacc_gpusim::{DeviceSpec, ExecMode};
 use hacc_swfft::{Complex64, FftPlan};

@@ -66,7 +66,7 @@ pub fn mini_run(np: usize, ranks: usize, steps: usize, physics: Physics) -> SimR
 
 /// A uniform (high-redshift-like) particle distribution.
 pub fn uniform_cloud(n: usize, extent: f64, seed: u64) -> Vec<[f64; 3]> {
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
@@ -82,7 +82,7 @@ pub fn uniform_cloud(n: usize, extent: f64, seed: u64) -> Vec<[f64; 3]> {
 /// A clustered (low-redshift-like) distribution: most particles in dense
 /// Gaussian blobs, the rest a diffuse background.
 pub fn clustered_cloud(n: usize, extent: f64, seed: u64) -> Vec<[f64; 3]> {
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n_blobs = 8.max(n / 2000);
     let centers: Vec<[f64; 3]> = (0..n_blobs)

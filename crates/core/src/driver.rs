@@ -42,7 +42,7 @@ use hacc_subgrid::{AgnModel, BlackHole, CoolingModel, StarFormationModel, Supern
 use hacc_tree::{ChainingMesh, CmConfig};
 use hacc_units::constants::G_NEWTON;
 use hacc_units::Background;
-use rand::SeedableRng;
+use hacc_rt::rand::{self, SeedableRng};
 
 /// Per-PM-step record.
 #[derive(Debug, Clone)]
@@ -567,7 +567,7 @@ fn rank_main(
                     1.0
                 };
                 w.advance_time(gpu_s.max(60.0));
-                let blocks = checkpoint_blocks(&store);
+                let blocks = checkpoint_blocks(&store, cfg.box_size);
                 io_blocking = w
                     .write_checkpoint(step as u64, &blocks, phase, imbalance * analysis_dip)
                     .expect("checkpoint");
@@ -819,13 +819,18 @@ fn final_analysis(
 
 /// Serialize the owned particles into checkpoint blocks (the complete
 /// restart state: a resumed run reconstructs the store exactly).
-fn checkpoint_blocks(store: &ParticleStore) -> Vec<Block> {
+///
+/// Positions are wrapped into the periodic box at write time: the last
+/// substep drift runs after migration, so in-memory positions can sit
+/// slightly outside `[0, box)` until the next step's wrap — but the
+/// checkpoint is the restart contract and must be canonical.
+fn checkpoint_blocks(store: &ParticleStore, box_size: f64) -> Vec<Block> {
     let n = store.n_owned;
     let flat = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..n).map(f).collect() };
     vec![
-        Block::from_f64("x", &flat(&|i| store.pos[i][0])),
-        Block::from_f64("y", &flat(&|i| store.pos[i][1])),
-        Block::from_f64("z", &flat(&|i| store.pos[i][2])),
+        Block::from_f64("x", &flat(&|i| store.pos[i][0].rem_euclid(box_size))),
+        Block::from_f64("y", &flat(&|i| store.pos[i][1].rem_euclid(box_size))),
+        Block::from_f64("z", &flat(&|i| store.pos[i][2].rem_euclid(box_size))),
         Block::from_f64("vx", &flat(&|i| store.vel[i][0])),
         Block::from_f64("vy", &flat(&|i| store.vel[i][1])),
         Block::from_f64("vz", &flat(&|i| store.vel[i][2])),

@@ -24,8 +24,8 @@ use hacc_ranks::CartDecomp;
 use hacc_swfft::{Complex64, FftPlan};
 use hacc_units::constants::{temperature_to_u, MU_NEUTRAL, RHO_CRIT0};
 use hacc_units::{Background, LinearPower};
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use hacc_rt::rand::{self, Rng, SeedableRng};
+use hacc_rt::par::prelude::*;
 
 /// The three real-space displacement component grids.
 pub struct DisplacementField {
@@ -264,6 +264,55 @@ mod tests {
         let f1 = displacement_field(&cfg, &bg);
         let f2 = displacement_field(&cfg, &bg);
         assert_eq!(f1.psi[0], f2.psi[0]);
+    }
+
+    /// FNV-1a over the exact bit patterns of the particle arrays: any
+    /// single-ULP difference changes the hash.
+    fn content_hash(store: &ParticleStore) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for i in 0..store.len() {
+            for d in 0..3 {
+                eat(store.pos[i][d].to_bits());
+                eat(store.vel[i][d].to_bits());
+            }
+            eat(store.mass[i].to_bits());
+            eat(store.u[i].to_bits());
+            eat(store.id[i]);
+        }
+        h
+    }
+
+    #[test]
+    fn same_seed_ics_bit_identical_across_thread_counts() {
+        // The hermetic-runtime contract: rt::par assigns deterministic
+        // contiguous spans and rt::rng derives per-site streams, so the
+        // worker count must not leak into the initial conditions at all.
+        let mut cfg = test_cfg(8);
+        cfg.physics = Physics::Hydro;
+        let bg = Background::new(cfg.cosmology);
+        let decomp = CartDecomp::new(1);
+        let hashes: Vec<u64> = [1usize, 4, 8]
+            .iter()
+            .map(|&threads| {
+                hacc_rt::par::with_num_threads(threads, || {
+                    content_hash(&generate_ics(&cfg, &bg, &decomp, 0))
+                })
+            })
+            .collect();
+        assert_eq!(
+            hashes[0], hashes[1],
+            "ICs differ between 1 and 4 worker threads"
+        );
+        assert_eq!(
+            hashes[0], hashes[2],
+            "ICs differ between 1 and 8 worker threads"
+        );
     }
 
     #[test]

@@ -153,7 +153,7 @@ mod tests {
     use super::*;
     use crate::particles::Species;
     use hacc_ranks::World;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn random_store(rank: usize, n: usize, box_size: f64) -> ParticleStore {
         let mut rng = rand::rngs::StdRng::seed_from_u64(rank as u64 + 100);

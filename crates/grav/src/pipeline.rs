@@ -129,7 +129,7 @@ pub fn grav_step(
 mod tests {
     use super::*;
     use hacc_tree::CmConfig;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn mesh_for(pos: &[[f64; 3]], extent: f64, bin: f64) -> ChainingMesh {
         ChainingMesh::build(

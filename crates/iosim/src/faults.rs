@@ -6,7 +6,7 @@
 //! run timeline — work, checkpoint, crash, roll back, restart — so the
 //! cadence trade-off (checkpoint overhead vs lost work) is measurable.
 
-use rand::Rng;
+use hacc_rt::rand::Rng;
 
 /// Exponential mean-time-to-interrupt failure model.
 #[derive(Debug, Clone, Copy)]
@@ -118,7 +118,7 @@ pub fn simulate_run<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use hacc_rt::rand::{self, SeedableRng};
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(seed)

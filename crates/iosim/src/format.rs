@@ -215,6 +215,7 @@ pub fn read_blocks(path: &Path) -> Result<Vec<Block>, FormatError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hacc_rt::prop as proptest;
 
     fn tmpfile(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("hacc-iosim-test-{}", std::process::id()));
@@ -293,7 +294,7 @@ mod tests {
             names in proptest::collection::vec("[a-z]{1,12}", 0..5),
             seed in 0u64..u64::MAX,
         ) {
-            use rand::{Rng, SeedableRng};
+            use hacc_rt::rand::{self, Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let blocks: Vec<Block> = names
                 .iter()

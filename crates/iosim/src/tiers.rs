@@ -5,8 +5,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use hacc_rt::channel::{unbounded, Sender};
+use hacc_rt::sync::Mutex;
 
 use crate::device::{NvmeModel, PfsModel};
 use crate::format::{read_blocks, write_blocks, Block, FormatError};

@@ -177,7 +177,7 @@ pub fn interpolate(
 mod tests {
     use super::*;
     use hacc_ranks::World;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     #[test]
     fn plane_owner_matches_slab() {

@@ -3,13 +3,21 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use hacc_rt::channel::{unbounded, Receiver, Sender};
 
 /// Message tag, mirroring MPI tags. User tags must leave the high bit clear;
 /// tags with the high bit set are reserved for internal collectives.
 pub type Tag = u64;
 
 const COLLECTIVE_BIT: Tag = 1 << 63;
+
+/// Internal tag carried by the abort envelope a panicking rank broadcasts
+/// before unwinding (bit 62 is never produced by the collective epoch
+/// counter in any realistic run). This is what makes teardown
+/// deterministic: a peer blocked in `recv` observes the abort and panics
+/// with a clear message instead of waiting forever on a world that can
+/// never make progress — the MPI_Abort analogue.
+const ABORT_TAG: Tag = COLLECTIVE_BIT | (1 << 62);
 
 struct Envelope {
     src: usize,
@@ -55,7 +63,26 @@ impl World {
                         stash: VecDeque::new(),
                         epoch: 0,
                     };
-                    fref(&mut comm)
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| fref(&mut comm)),
+                    );
+                    match result {
+                        Ok(v) => v,
+                        Err(cause) => {
+                            // Tell every peer before unwinding so ranks
+                            // blocked in recv fail fast instead of
+                            // deadlocking the scoped join below. Peers may
+                            // already be gone; ignore those send failures.
+                            for dst in (0..n).filter(|&d| d != comm.rank) {
+                                let _ = comm.txs[dst].send(Envelope {
+                                    src: comm.rank,
+                                    tag: ABORT_TAG,
+                                    payload: Box::new(()),
+                                });
+                            }
+                            std::panic::resume_unwind(cause);
+                        }
+                    }
                 }));
             }
             handles
@@ -128,7 +155,20 @@ impl Comm {
             return Self::downcast(env, src, tag);
         }
         loop {
-            let env = self.rx.recv().expect("all senders hung up");
+            let env = self.rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: world torn down while waiting on \
+                     recv(src={src}, tag={tag})",
+                    self.rank
+                )
+            });
+            if env.tag == ABORT_TAG {
+                panic!(
+                    "rank {}: rank {} aborted while this rank waited on \
+                     recv(src={src}, tag={tag})",
+                    self.rank, env.src
+                );
+            }
             if env.src == src && env.tag == tag {
                 return Self::downcast(env, src, tag);
             }
@@ -457,6 +497,26 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2, 3]);
         }
+    }
+
+    #[test]
+    fn panicking_rank_does_not_deadlock_blocked_peers() {
+        // Rank 0 dies before sending; rank 1 is blocked in recv waiting
+        // for it. The abort broadcast must unblock rank 1 so the world
+        // tears down (with a propagated panic) instead of hanging the
+        // scoped join forever.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let result = std::panic::catch_unwind(|| {
+            World::run(2, |c| {
+                if c.rank() == 0 {
+                    panic!("simulated rank failure");
+                }
+                c.recv::<u64>(0, 9)
+            })
+        });
+        std::panic::set_hook(prev);
+        assert!(result.is_err(), "world must propagate the rank failure");
     }
 
     #[test]

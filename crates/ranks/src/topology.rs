@@ -112,7 +112,7 @@ fn score(d: [usize; 3]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hacc_rt::prop::prelude::*;
 
     #[test]
     fn perfect_cubes() {

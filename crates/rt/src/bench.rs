@@ -1,0 +1,243 @@
+//! A tiny Criterion-compatible benchmark harness.
+//!
+//! Covers the surface the `crates/bench` targets use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `sample_size`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock over auto-calibrated
+//! iteration batches; results print as `name  time/iter  (samples)` so
+//! the table/figure regeneration binaries stay scriptable.
+//!
+//! Set `HACC_RT_BENCH_FAST=1` to run one iteration per benchmark — used
+//! to smoke-test bench targets inside the normal test budget.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+fn fast_mode() -> bool {
+    std::env::var_os("HACC_RT_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, auto-calibrating the batch size to [`TARGET_SAMPLE`].
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if fast_mode() {
+            let t = Instant::now();
+            black_box(f());
+            self.mean_ns = t.elapsed().as_nanos() as f64;
+            return;
+        }
+        // Calibrate: grow the batch until it costs ~1/4 of the target.
+        let mut batch = 1u64;
+        let per_iter_ns = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= TARGET_SAMPLE / 4 {
+                break el.as_nanos() as f64 / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        let per_sample = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total_ns += t.elapsed().as_nanos() as f64;
+            total_iters += per_sample;
+        }
+        self.mean_ns = total_ns / total_iters as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, samples: usize) {
+    let human = if mean_ns < 1e3 {
+        format!("{mean_ns:.1} ns")
+    } else if mean_ns < 1e6 {
+        format!("{:.2} µs", mean_ns / 1e3)
+    } else if mean_ns < 1e9 {
+        format!("{:.2} ms", mean_ns / 1e6)
+    } else {
+        format!("{:.3} s", mean_ns / 1e9)
+    };
+    println!("bench  {name:<48} {human:>12}/iter  ({samples} samples)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` against one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.mean_ns, self.samples);
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            b.mean_ns,
+            self.samples,
+        );
+        self
+    }
+
+    /// Finish the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+        }
+    }
+
+    /// Benchmark a plain closure outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: 20,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.mean_ns, 20);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one named runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// `#[macro_export]` places the macros at the crate root; re-export them
+// here so `use hacc_rt::bench::{criterion_group, criterion_main}` works
+// exactly like the criterion import it replaces.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("HACC_RT_BENCH_FAST", "1");
+        let mut b = Bencher {
+            samples: 3,
+            mean_ns: 0.0,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+
+    #[test]
+    fn group_api_chain_compiles_and_runs() {
+        std::env::set_var("HACC_RT_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 2 + 2));
+    }
+}

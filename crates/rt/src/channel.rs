@@ -1,0 +1,355 @@
+//! Unbounded mpmc channel with crossbeam-shaped semantics.
+//!
+//! * `send` fails (returning the value) once every `Receiver` is gone;
+//! * `recv` blocks while the queue is empty and senders remain, drains
+//!   remaining messages after the last `Sender` drops, then returns
+//!   [`RecvError`] — it can never hang on a disconnected channel, which
+//!   is what keeps `Communicator` teardown deterministic;
+//! * both endpoints are `Clone`; FIFO order is preserved per channel.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone;
+/// carries the unsent value back to the caller.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] once the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue empty but senders remain.
+    Empty,
+    /// Queue empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel empty"),
+            TryRecvError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create an unbounded mpmc channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`; fails iff every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.lock();
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Whether the queue currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake every blocked receiver so it can observe disconnect.
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest message, blocking while the channel is empty
+    /// and senders remain. Returns [`RecvError`] (never hangs) once the
+    /// channel is empty and disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .inner
+                .ready
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.lock();
+        if let Some(v) = st.queue.pop_front() {
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Whether the queue currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.lock().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_after_all_senders_drop_drains_then_errors() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        // And it keeps erroring rather than hanging.
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        // A receiver already parked inside recv() must observe the last
+        // sender dropping and return an error instead of hanging.
+        let (tx, rx) = unbounded::<u32>();
+        let waiter = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(50));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let err = tx.send(7).unwrap_err();
+        assert_eq!(err.0, 7);
+    }
+
+    #[test]
+    fn cloned_senders_keep_channel_alive() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let producers = 4;
+        let per = 2500u64;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        tx.send(p * per + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..producers * per).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn len_and_is_empty_track_queue() {
+        let (tx, rx) = unbounded();
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        let _ = rx.recv();
+        assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        // FIFO must hold per sender even under interleaving.
+        let (tx, rx) = unbounded::<(usize, u64)>();
+        std::thread::scope(|s| {
+            for p in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        tx.send((p, i)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut last = [0u64; 3];
+            let mut counts = [0u64; 3];
+            while let Ok((p, i)) = rx.recv() {
+                assert!(counts[p] == 0 || i > last[p], "producer {p} reordered");
+                last[p] = i;
+                counts[p] += 1;
+            }
+            assert_eq!(counts, [1000; 3]);
+        });
+    }
+}

@@ -1,0 +1,45 @@
+//! `hacc-rt`: the hermetic runtime under the whole workspace.
+//!
+//! This simulated machine must build and test with **zero network access
+//! and zero crates.io dependencies** — the same constraint CRK-HACC faces
+//! on air-gapped HPC systems where vendor toolchains and batch nodes see
+//! no package registry. Everything the workspace previously pulled from
+//! crates.io is vendored here as a minimal, well-tested replacement:
+//!
+//! * [`rng`] — a seedable, splittable xoshiro256++ generator behind
+//!   `rand`-shaped [`rng::Rng`]/[`rng::SeedableRng`] traits;
+//! * [`rand`] — a path-compatibility facade so call sites keep writing
+//!   `rand::rngs::StdRng::seed_from_u64(..)` after switching their `use`;
+//! * [`par`] — scoped-thread data parallelism with `rayon`-shaped
+//!   `par_iter`/`par_chunks_mut`/`par_sort_unstable_by_key` helpers;
+//! * [`channel`] — an unbounded mpmc channel with crossbeam's
+//!   send/recv/disconnect semantics;
+//! * [`sync`] — `Mutex`/`RwLock` with parking_lot's no-poisoning API;
+//! * [`bench`] — a tiny Criterion-compatible harness;
+//! * [`prop`] — a bounded-shrinking property-test macro covering the
+//!   `proptest!` call sites.
+//!
+//! Adding a primitive: put it in the narrowest module above, mirror the
+//! external crate's method names exactly (call sites should only ever
+//! change their `use` lines), and add a determinism or semantics test in
+//! the same file. See DESIGN.md § "Hermetic build policy".
+
+pub mod bench;
+pub mod channel;
+pub mod par;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+/// Path-compatibility facade mirroring the `rand` crate layout.
+///
+/// `use hacc_rt::rand::{self, Rng, SeedableRng};` lets existing call
+/// sites keep their fully qualified `rand::rngs::StdRng` paths.
+pub mod rand {
+    pub use crate::rng::{Rng, SeedableRng};
+
+    /// Mirrors `rand::rngs`.
+    pub mod rngs {
+        pub use crate::rng::StdRng;
+    }
+}

@@ -1,0 +1,418 @@
+//! Scoped-thread data parallelism with `rayon`-shaped helpers.
+//!
+//! The executor is deliberately simple: a work list is split into one
+//! contiguous span per worker and executed on `std::thread::scope`
+//! threads. Outputs are reassembled in input order, so **every adaptor
+//! here is deterministic in its result regardless of the thread count**
+//! — the property the IC generator's bit-identical-across-thread-counts
+//! guarantee rests on.
+//!
+//! Covered surface (mirroring `rayon::prelude`):
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `slice.par_chunks_mut(n)` with `.zip(..)`, `.enumerate()`,
+//!   `.for_each(f)`
+//! * `slice.par_iter().map(f).collect()` / `.for_each(f)`
+//! * `slice.par_sort_unstable_by_key(f)`
+//!
+//! Adaptors build their item lists eagerly (cheap: items are references
+//! or small values); only the terminal `for_each`/`collect` fan out to
+//! threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 = automatic.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override (innermost wins); 0 = fall through.
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of workers a parallel call issued from this thread will use.
+///
+/// Resolution order: [`with_num_threads`] scope on this thread, then
+/// [`set_num_threads`], then the `HACC_RT_THREADS` environment variable,
+/// then the machine's available parallelism.
+pub fn num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(s) = std::env::var("HACC_RT_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Set the process-wide worker count (0 restores automatic).
+pub fn set_num_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with parallel calls *from this thread* using `n` workers.
+/// Restores the previous override afterwards, even on panic.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_THREADS.with(|c| c.replace(n)));
+    f()
+}
+
+/// Map `f` over `items` on the worker pool, preserving input order.
+fn run_indexed<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Contiguous spans: span w covers [w*n/workers, (w+1)*n/workers).
+    let mut spans: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    {
+        let mut it = items.into_iter().enumerate();
+        for w in 0..workers {
+            let take = (w + 1) * n / workers - w * n / workers;
+            spans.push(it.by_ref().take(take).collect());
+        }
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| {
+                scope.spawn(move || {
+                    span.into_iter().map(|(i, t)| f(i, t)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("hacc-rt worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager parallel iterator: an ordered item list awaiting a terminal
+/// `for_each`/`map`/`collect`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair items positionally with another parallel iterator
+    /// (truncating to the shorter, like `Iterator::zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach the item index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily map items; runs on the pool at `collect`/`for_each`.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Execute `f` on every item across the worker pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_indexed(self.items, |_, t| f(t));
+    }
+
+    /// Materialize the items (no-op terminal, kept for API parity).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; the closure runs on the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Run the map on the pool and collect results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let f = self.f;
+        run_indexed(self.items, |_, t| f(t)).into_iter().collect()
+    }
+
+    /// Run the map on the pool, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        run_indexed(self.items, |_, t| g(f(t)));
+    }
+}
+
+/// `vec.into_par_iter()` — by-value parallel iteration.
+pub trait IntoParIter {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParIter for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel views over slices, mirroring rayon's slice extensions.
+pub trait ParSlice<T: Send> {
+    /// Shared parallel iteration.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Disjoint mutable chunks of at most `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    /// Sort by key, chunk-sorting on the pool then merging.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Clone,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Clone,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        let n = self.len();
+        let workers = num_threads().min(n / 4096).max(1);
+        if workers <= 1 {
+            self.sort_unstable_by_key(key);
+            return;
+        }
+        // Sort contiguous runs in parallel...
+        let mut bounds: Vec<usize> = (0..=workers).map(|w| w * n / workers).collect();
+        {
+            let key = &key;
+            let mut rest = &mut *self;
+            let mut parts: Vec<&mut [T]> = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let len = bounds[w + 1] - bounds[w];
+                let (head, tail) = rest.split_at_mut(len);
+                parts.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for part in parts {
+                    scope.spawn(move || part.sort_unstable_by_key(key));
+                }
+            });
+        }
+        // ...then merge pairs of adjacent runs until one remains.
+        let mut scratch: Vec<T> = Vec::with_capacity(n);
+        while bounds.len() > 2 {
+            let mut next = vec![bounds[0]];
+            for pair in bounds.windows(3).step_by(2) {
+                let (lo, mid, hi) = (pair[0], pair[1], pair[2]);
+                scratch.clear();
+                {
+                    let (a, b) = (&self[lo..mid], &self[mid..hi]);
+                    let (mut i, mut j) = (0, 0);
+                    while i < a.len() && j < b.len() {
+                        if key(&a[i]) <= key(&b[j]) {
+                            scratch.push(a[i].clone());
+                            i += 1;
+                        } else {
+                            scratch.push(b[j].clone());
+                            j += 1;
+                        }
+                    }
+                    scratch.extend_from_slice(&a[i..]);
+                    scratch.extend_from_slice(&b[j..]);
+                }
+                self[lo..hi].clone_from_slice(&scratch);
+                next.push(hi);
+            }
+            if bounds.len() % 2 == 0 {
+                // Odd run count: the final run rides along unmerged.
+                next.push(*bounds.last().unwrap());
+            }
+            bounds = next;
+        }
+    }
+}
+
+/// Glob import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParIter, ParSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_executes_all_chunks_exactly_once() {
+        // Every chunk must be visited once — no drops, no duplicates —
+        // at any worker count, including more workers than chunks.
+        for threads in [1, 2, 3, 8, 64] {
+            with_num_threads(threads, || {
+                let mut data = vec![0u32; 1000];
+                let seen = Mutex::new(HashSet::new());
+                data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+                    for v in chunk.iter_mut() {
+                        *v += 1;
+                    }
+                    assert!(
+                        seen.lock().unwrap().insert(i),
+                        "chunk {i} executed twice"
+                    );
+                });
+                assert!(data.iter().all(|&v| v == 1), "threads = {threads}");
+                assert_eq!(seen.lock().unwrap().len(), 1000usize.div_ceil(7));
+            });
+        }
+    }
+
+    #[test]
+    fn zip3_enumerate_matches_ic_call_shape() {
+        let mut a = vec![0u32; 24];
+        let mut b = vec![0u32; 24];
+        let mut c = vec![0u32; 24];
+        a.par_chunks_mut(6)
+            .zip(b.par_chunks_mut(6))
+            .zip(c.par_chunks_mut(6))
+            .enumerate()
+            .for_each(|(x, ((ca, cb), cc))| {
+                for k in 0..ca.len() {
+                    ca[k] = x as u32;
+                    cb[k] = 10 + x as u32;
+                    cc[k] = 20 + x as u32;
+                }
+            });
+        assert_eq!(a[..6], [0; 6]);
+        assert_eq!(b[6..12], [11; 6]);
+        assert_eq!(c[18..], [23; 6]);
+    }
+
+    #[test]
+    fn result_identical_across_thread_counts() {
+        let input: Vec<u64> = (0..5000).map(|i| i * 2654435761 % 9973).collect();
+        let reference: Vec<u64> = with_num_threads(1, || {
+            input.clone().into_par_iter().map(|x| x * x % 7919).collect()
+        });
+        for threads in [2, 4, 8] {
+            let got: Vec<u64> = with_num_threads(threads, || {
+                input.clone().into_par_iter().map(|x| x * x % 7919).collect()
+            });
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort() {
+        let mut v: Vec<(u64, usize)> = (0..50_000)
+            .map(|i| ((i * 48271) % 65521, i as usize))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable_by_key(|&(k, _)| k);
+        with_num_threads(4, || v.par_sort_unstable_by_key(|&(k, _)| k));
+        assert_eq!(
+            v.iter().map(|p| p.0).collect::<Vec<_>>(),
+            expect.iter().map(|p| p.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn par_iter_shared_read() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let doubled: Vec<f64> = v.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled[999], 1998.0);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u8];
+        let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn with_num_threads_restores_on_exit() {
+        assert_eq!(LOCAL_THREADS.with(Cell::get), 0);
+        with_num_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_num_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(LOCAL_THREADS.with(Cell::get), 0);
+    }
+}

@@ -153,7 +153,7 @@ pub fn corrected_grad_w(
 mod tests {
     use super::*;
     use crate::kernel::{CubicSpline, SphKernel};
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     #[test]
     fn invert_identity() {

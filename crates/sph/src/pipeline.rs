@@ -416,7 +416,7 @@ mod tests {
     use super::*;
     use crate::kernel::CubicSpline;
     use hacc_tree::CmConfig;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     struct Setup {
         pos: Vec<[f64; 3]>,

@@ -6,7 +6,7 @@
 //! scheme), with probability `p = 1 - exp(-eps dt / t_dyn)` per step.
 
 use hacc_units::constants::{rho_to_nh, u_to_temperature, G_NEWTON, MU_IONIZED};
-use rand::Rng;
+use hacc_rt::rand::Rng;
 
 /// Star formation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -77,7 +77,7 @@ impl StarFormationModel {
 mod tests {
     use super::*;
     use hacc_units::constants::{temperature_to_u, RHO_CRIT0};
-    use rand::SeedableRng;
+    use hacc_rt::rand::{self, SeedableRng};
 
     fn model() -> StarFormationModel {
         StarFormationModel::new(0.6766)

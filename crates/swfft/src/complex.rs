@@ -157,7 +157,7 @@ impl MulAssign for Complex64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hacc_rt::prop::prelude::*;
 
     #[test]
     fn i_squared_is_minus_one() {

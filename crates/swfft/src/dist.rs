@@ -247,7 +247,7 @@ impl DistFft3d {
 mod tests {
     use super::*;
     use hacc_ranks::World;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     /// Serial reference 3-D FFT on a full grid.
     fn serial_fft3(n: usize, grid: &[Complex64], inverse: bool) -> Vec<Complex64> {

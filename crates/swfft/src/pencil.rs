@@ -341,7 +341,7 @@ impl PencilFft3d {
 mod tests {
     use super::*;
     use hacc_ranks::World;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn rand_grid(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -198,8 +198,8 @@ pub fn naive_dft(data: &[Complex64], inverse: bool) -> Vec<Complex64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::prop::prelude::*;
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

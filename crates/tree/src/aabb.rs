@@ -109,7 +109,7 @@ impl Aabb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hacc_rt::prop::prelude::*;
 
     #[test]
     fn empty_absorbs_first_point() {

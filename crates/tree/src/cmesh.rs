@@ -2,7 +2,7 @@
 //! k-d tree, with leaf-pair interaction list generation.
 
 use crate::kdtree::{build_leaves, Leaf};
-use rayon::prelude::*;
+use hacc_rt::par::prelude::*;
 
 /// Identifier of a leaf within a [`ChainingMesh`].
 pub type LeafId = u32;
@@ -260,7 +260,7 @@ impl ChainingMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn cloud(n: usize, seed: u64, extent: f64) -> Vec<[f64; 3]> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -75,7 +75,7 @@ pub fn build_leaves(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
 
     fn cloud(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

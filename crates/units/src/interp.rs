@@ -62,7 +62,7 @@ impl InterpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hacc_rt::prop::prelude::*;
 
     #[test]
     fn interpolates_linear_function_exactly() {

@@ -7,7 +7,7 @@
 //! ```
 
 use frontier_sim::analysis::{dbscan, fof_halos, mass_function, DbscanLabel};
-use rand::{Rng, SeedableRng};
+use hacc_rt::rand::{self, Rng, SeedableRng};
 
 fn main() {
     // Build a mock density field: NFW-ish halos on a uniform background.

@@ -9,7 +9,7 @@ use frontier_sim::iosim::format::Block;
 use frontier_sim::iosim::{
     simulate_run, FaultInjector, TieredConfig, TieredWriter,
 };
-use rand::SeedableRng;
+use hacc_rt::rand::{self, SeedableRng};
 
 fn main() {
     let base = std::env::temp_dir().join(format!("io-tiering-example-{}", std::process::id()));

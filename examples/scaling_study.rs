@@ -69,7 +69,7 @@ fn main() {
 
 /// Local uniform-cloud helper (examples cannot depend on the bench crate).
 fn hacc_bench_cloud(n: usize, extent: f64) -> Vec<[f64; 3]> {
-    use rand::{Rng, SeedableRng};
+    use hacc_rt::rand::{self, Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(31);
     (0..n)
         .map(|_| {

@@ -6,6 +6,8 @@
 //! cargo run --release --example sky_maps
 //! ```
 
+use hacc_rt::rand;
+
 use frontier_sim::analysis::{
     compton_y_map, correlation_function, fof_halos, populate, xray_map, HodParams,
 };

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: the workspace must build and test fully
+# offline, with no dependency outside the repository. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: no external dependencies =="
+# Any dependency line that is not a pure path/workspace reference is a
+# policy violation (see DESIGN.md, "Dependency policy"). Matches both
+# `foo = "1.0"`-style and `foo = { version = ... }`-style declarations,
+# and the six crates hacc-rt replaced by name anywhere in a manifest.
+fail=0
+manifests=(Cargo.toml crates/*/Cargo.toml)
+if grep -nE '^(rand|rayon|crossbeam|parking_lot|proptest|criterion)\b' \
+    "${manifests[@]}"; then
+    echo "error: banned external crate referenced above" >&2
+    fail=1
+fi
+# In dependency tables, only `path = ...` / `workspace = true` entries
+# (and the table/feature scaffolding around them) are allowed.
+if awk '
+    /^\[/ { in_deps = ($0 ~ /dependencies/) ; next }
+    in_deps && NF && $0 !~ /^#/ \
+        && $0 !~ /path *=/ && $0 !~ /workspace *= *true/ {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0; found = 1
+    }
+    END { exit found }
+' "${manifests[@]}"; then :; else
+    echo "error: non-path dependency declared above" >&2
+    fail=1
+fi
+[ "$fail" -eq 0 ] || exit 1
+echo "ok: all dependencies are in-repo paths"
+
+echo "== build (offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "verify.sh: all checks passed"

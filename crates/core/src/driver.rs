@@ -23,7 +23,7 @@ use crate::ic::generate_ics;
 use crate::kicks::KickDrift;
 use crate::overload::{exchange_overload, migrate};
 use crate::particles::{ParticleStore, Species};
-use crate::timers::{Phase, Timers};
+use crate::timers::{Phase, Timers, PHASES};
 use crate::timestep::{n_substeps, rung_for, RungStats};
 use hacc_analysis::power::PowerBin;
 use hacc_analysis::twopoint::XiBin;
@@ -36,6 +36,10 @@ use hacc_iosim::format::Block;
 use hacc_iosim::{IoStats, TieredConfig, TieredWriter};
 use hacc_mesh::{PmConfig, PmSolver};
 use hacc_ranks::{CartDecomp, Comm, World};
+use hacc_telem::{
+    CommCounters, ConservationLedger, GpuKernelRow, LedgerRecord, RankTelemetry, Span,
+    TelemetryReport, Tracer,
+};
 use hacc_sph::pipeline::{cfl_timestep, sph_step, SphConfig, SphInput};
 use hacc_sph::CubicSpline;
 use hacc_subgrid::{AgnModel, BlackHole, CoolingModel, StarFormationModel, SupernovaModel};
@@ -112,6 +116,12 @@ pub struct SimReport {
     pub total_momentum: [f64; 3],
     /// Gross momentum scale `sum m |p|` (denominator for the diagnostic).
     pub momentum_scale: f64,
+    /// Per-step conservation ledger, globally reduced in rank order
+    /// (identical on every rank).
+    pub ledger: ConservationLedger,
+    /// The unified telemetry bundle: per-rank spans and counters, merged
+    /// GPU kernel rows, the ledger, and the non-golden wall-clock phases.
+    pub telemetry: TelemetryReport,
 }
 
 /// Hard cap on smoothing lengths, in units of the interparticle spacing.
@@ -122,6 +132,9 @@ const H_CAP_SPACING: f64 = 1.75;
 struct RankOutput {
     steps: Vec<StepRecord>,
     timers: Timers,
+    spans: Vec<Span>,
+    comm: CommCounters,
+    ledger: ConservationLedger,
     counters: KernelCounters,
     profile: ProfileTable,
     utilization: f64,
@@ -193,6 +206,40 @@ fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
     }
     let first = &outputs[0];
     let solver_wall = timers.get(Phase::ShortRange).max(1e-12) / n_ranks as f64;
+
+    // Unified telemetry bundle. GPU rows come from the merged profile
+    // table; sorted by name so the golden artifact has a stable order.
+    let model = ExecutionModel::new(cfg.device);
+    let mut gpu: Vec<GpuKernelRow> = profile
+        .rows(&model)
+        .iter()
+        .map(|r| GpuKernelRow {
+            name: r.name.clone(),
+            launches: r.launches,
+            flops: r.flops,
+            bytes: r.bytes,
+            pairs: r.pairs,
+        })
+        .collect();
+    gpu.sort_by(|a, b| a.name.cmp(&b.name));
+    let telemetry = TelemetryReport {
+        ranks: outputs
+            .iter()
+            .enumerate()
+            .map(|(rank, o)| RankTelemetry {
+                rank,
+                spans: o.spans.clone(),
+                comm: o.comm.clone(),
+                io: o.io.as_ref().map(|s| s.to_telem()).unwrap_or_default(),
+            })
+            .collect(),
+        gpu,
+        ledger: first.ledger.clone(),
+        wall_phases: PHASES
+            .iter()
+            .map(|&p| (p.name().to_string(), timers.get(p)))
+            .collect(),
+    };
     SimReport {
         n_ranks,
         total_particles: cfg.total_particles(),
@@ -212,6 +259,8 @@ fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
         particles_per_second: updates as f64 / solver_wall.max(1e-12),
         total_momentum: momentum,
         momentum_scale,
+        ledger: first.ledger.clone(),
+        telemetry,
     }
 }
 
@@ -277,6 +326,8 @@ fn rank_main(
         .then(|| TieredWriter::new(tiered_cfg).expect("io setup"));
 
     let mut timers = Timers::new();
+    let mut tracer = Tracer::new(comm.rank());
+    let mut ledger = ConservationLedger::new();
     let mut counters = KernelCounters::default();
     let mut profile = ProfileTable::new();
     let model = ExecutionModel::new(cfg.device);
@@ -292,18 +343,23 @@ fn rank_main(
         let a1 = a0 + da_pm;
         let step_t0 = std::time::Instant::now();
         let counters_step_start = counters.clone();
+        tracer.set_step(step as u64);
+        let sp_step = tracer.begin("step", &format!("step-{step}"));
 
         // --- 1. migrate + overload refresh ---
-        let t_misc = std::time::Instant::now();
+        let sp = tracer.begin("misc", "migrate+overload");
+        timers.begin(Phase::Misc);
         migrate(comm, &decomp, &mut store, cfg.box_size);
         exchange_overload(comm, &decomp, &mut store, cfg.box_size, overload_width);
-        timers.add(Phase::Misc, t_misc.elapsed().as_secs_f64());
+        timers.end();
+        tracer.end(sp);
 
         let n_owned_global =
             comm.all_reduce_sum_u64(store.n_owned as u64);
 
         // --- 2. long-range solve + opening half-kick ---
-        let t_lr = std::time::Instant::now();
+        let sp = tracer.begin("long-range", "pm-solve+half-kick");
+        timers.begin(Phase::LongRange);
         let owned_pos: Vec<[f64; 3]> = store.pos[..store.n_owned].to_vec();
         let owned_mass: Vec<f64> = store.mass[..store.n_owned].to_vec();
         let lr_acc = pm.accelerations(comm, &owned_pos, &owned_mass);
@@ -313,7 +369,8 @@ fn rank_main(
                 store.vel[i][d] += lr_acc[i][d] / a0 * half_kick;
             }
         }
-        timers.add(Phase::LongRange, t_lr.elapsed().as_secs_f64());
+        timers.end();
+        tracer.end(sp);
 
         // --- 3. chaining mesh + trees (once per PM step) ---
         let grav_cfg = GravConfig {
@@ -343,9 +400,11 @@ fn rank_main(
             bin_width: cutoff.max(1e-3),
             max_leaf: 128,
         };
-        let t_tree = std::time::Instant::now();
+        let sp = tracer.begin("tree-build", "chaining-mesh");
+        timers.begin(Phase::TreeBuild);
         let mut cm_all = ChainingMesh::build(&store.pos, dom_lo, dom_hi, &cm_cfg);
-        timers.add(Phase::TreeBuild, t_tree.elapsed().as_secs_f64());
+        timers.end();
+        tracer.end(sp);
 
         // --- rung assignment (gas CFL; collisionless on rung 0) ---
         let gas_idx = store.indices_of_all(Species::Gas);
@@ -378,7 +437,8 @@ fn rank_main(
         let da_s = da_pm / nsub as f64;
 
         // --- 4. short-range subcycle block (chained KDK) ---
-        let t_sr = std::time::Instant::now();
+        let sp_sr = tracer.begin("short-range", "subcycle-block");
+        timers.begin(Phase::ShortRange);
         let mut stars_this_step = 0u64;
         let kick_with_forces = |store: &mut ParticleStore,
                                     cm: &ChainingMesh,
@@ -506,18 +566,22 @@ fn rank_main(
                 w,
             );
         }
-        timers.add(Phase::ShortRange, t_sr.elapsed().as_secs_f64());
+        timers.end();
+        tracer.end(sp_sr);
 
         // --- 5. in-situ analysis (+ science output through the tiers) ---
         if cfg.analysis_every > 0 && (step + 1) % cfg.analysis_every == 0 {
-            let t_an = std::time::Instant::now();
+            let sp = tracer.begin("analysis", "in-situ-analysis");
+            timers.begin(Phase::Analysis);
             let halos =
                 run_analysis_step(cfg, comm, &store, &agn, &mut black_holes, &kd, a1);
-            timers.add(Phase::Analysis, t_an.elapsed().as_secs_f64());
+            timers.end();
+            tracer.end(sp);
             // Halo catalogs are the paper's ~12 PB science side channel:
             // written through the same tiers, never pruned.
             if let Some(w) = writer.as_mut() {
-                let t_io = std::time::Instant::now();
+                let sp = tracer.begin("io", "halo-catalog");
+                timers.begin(Phase::Io);
                 let frac = step as f64 / cfg.pm_steps.max(1) as f64;
                 let blocks = vec![
                     Block::from_f64("mass", &halos.iter().map(|h| h.mass).collect::<Vec<_>>()),
@@ -531,12 +595,14 @@ fn rank_main(
                     frac * 0.8,
                     1.3,
                 );
-                timers.add(Phase::Io, t_io.elapsed().as_secs_f64());
+                timers.end();
+                tracer.end(sp);
             }
         }
 
         // --- 6. closing long-range half-kick ---
-        let t_lr2 = std::time::Instant::now();
+        let sp = tracer.begin("long-range", "pm-solve+closing-half-kick");
+        timers.begin(Phase::LongRange);
         let owned_pos: Vec<[f64; 3]> = store.pos[..store.n_owned].to_vec();
         let owned_mass: Vec<f64> = store.mass[..store.n_owned].to_vec();
         let lr_acc = pm.accelerations(comm, &owned_pos, &owned_mass);
@@ -545,14 +611,16 @@ fn rank_main(
                 store.vel[i][d] += lr_acc[i][d] / a1 * half_kick;
             }
         }
-        timers.add(Phase::LongRange, t_lr2.elapsed().as_secs_f64());
+        timers.end();
+        tracer.end(sp);
 
         // --- 7. tiered checkpoint of the completed step ---
         let gpu_s = model.kernel_time_s(&counters) - model.kernel_time_s(&counters_step_start);
         let mut io_blocking = 0.0;
         if let Some(w) = writer.as_mut() {
             if (step + 1) % cfg.checkpoint_every == 0 {
-                let t_io = std::time::Instant::now();
+                let sp = tracer.begin("io", "checkpoint");
+                timers.begin(Phase::Io);
                 // Low-z clustering raises PFS contention and grows the
                 // node data imbalance toward ~2x (Section VI-B); analysis
                 // output steps dip the NVMe bandwidth by up to 30%.
@@ -571,9 +639,51 @@ fn rank_main(
                 io_blocking = w
                     .write_checkpoint(step as u64, &blocks, phase, imbalance * analysis_dip)
                     .expect("checkpoint");
-                timers.add(Phase::Io, t_io.elapsed().as_secs_f64());
+                timers.end();
+                tracer.end(sp);
             }
         }
+
+        // --- conservation ledger: globally reduced end-of-step totals ---
+        // Ownership only changes at migrate (next step's entry), so the
+        // count reduced after migration is the end-of-step count too. The
+        // f64 sums reduce elementwise in rank order — deterministic for a
+        // fixed rank count.
+        let sp = tracer.begin("misc", "ledger-reduce");
+        timers.begin(Phase::Misc);
+        let mut local = [0.0f64; 7];
+        for i in 0..store.n_owned {
+            let m = store.mass[i];
+            local[0] += m;
+            let mut v2 = 0.0;
+            for d in 0..3 {
+                let p = m * store.vel[i][d];
+                local[1 + d] += p;
+                local[4] += p.abs();
+                v2 += store.vel[i][d] * store.vel[i][d];
+            }
+            local[5] += 0.5 * m * v2;
+            if store.species[i] == Species::Gas {
+                local[6] += m * store.u[i];
+            }
+        }
+        let tot = comm.all_reduce(local, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        ledger.push(LedgerRecord {
+            step: step as u64,
+            count: n_owned_global,
+            mass: tot[0],
+            momentum: [tot[1], tot[2], tot[3]],
+            momentum_scale: tot[4],
+            kinetic: tot[5],
+            internal: tot[6],
+        });
+        timers.end();
+        tracer.end(sp);
 
         total_stars += comm.all_reduce_sum_u64(stars_this_step);
         let wall = step_t0.elapsed().as_secs_f64();
@@ -591,11 +701,16 @@ fn rank_main(
             io_blocking_s: io_blocking,
             wall_seconds: wall_max,
         });
+        tracer.end(sp_step);
     }
 
     // --- final analysis: P(k), FOF, xi(r), HOD galaxies, SZ map ---
+    let sp = tracer.begin("analysis", "final-analysis");
+    timers.begin(Phase::Analysis);
     let (power, n_halos, largest_halo, xi, n_galaxies, y_conc) =
         final_analysis(cfg, comm, &store, &mut rng);
+    timers.end();
+    tracer.end(sp);
 
     let io = writer.map(|w| w.finish());
     let utilization = model.utilization(&counters);
@@ -610,6 +725,9 @@ fn rank_main(
     RankOutput {
         steps,
         timers,
+        spans: tracer.into_spans(),
+        comm: comm.telemetry(),
+        ledger,
         counters,
         profile,
         utilization,

@@ -44,10 +44,25 @@ impl Phase {
     }
 }
 
+/// One open (not yet closed) phase region on the nesting stack.
+#[derive(Debug, Clone)]
+struct OpenPhase {
+    slot: usize,
+    t0: Instant,
+    /// Seconds already attributed to phases nested inside this region.
+    child_seconds: f64,
+}
+
 /// Accumulating wall-clock timers per phase.
+///
+/// Phase regions may nest (`begin`/`end` pairs): each second of wall time
+/// is attributed to exactly one phase — the innermost open region — so the
+/// per-phase totals sum to the elapsed time of the outermost region instead
+/// of double-counting nested work.
 #[derive(Debug, Clone, Default)]
 pub struct Timers {
     seconds: [f64; 6],
+    stack: Vec<OpenPhase>,
 }
 
 impl Timers {
@@ -60,11 +75,37 @@ impl Timers {
         PHASES.iter().position(|&p| p == phase).unwrap()
     }
 
-    /// Time a closure under `phase`.
+    /// Open a phase region. Must be closed with a matching [`Timers::end`].
+    pub fn begin(&mut self, phase: Phase) {
+        self.stack.push(OpenPhase {
+            slot: Self::slot(phase),
+            t0: Instant::now(),
+            child_seconds: 0.0,
+        });
+    }
+
+    /// Close the innermost open region, attributing its *self time*
+    /// (elapsed minus time spent in nested regions) to its phase.
+    /// Returns the full elapsed seconds of the region.
+    pub fn end(&mut self) -> f64 {
+        let open = self
+            .stack
+            .pop()
+            .expect("Timers::end without matching begin");
+        let elapsed = open.t0.elapsed().as_secs_f64();
+        let self_time = (elapsed - open.child_seconds).max(0.0);
+        self.seconds[open.slot] += self_time;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_seconds += elapsed;
+        }
+        elapsed
+    }
+
+    /// Time a closure under `phase` (nest-safe: uses `begin`/`end`).
     pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
+        self.begin(phase);
         let out = f();
-        self.seconds[Self::slot(phase)] += t0.elapsed().as_secs_f64();
+        self.end();
         out
     }
 
@@ -129,6 +170,55 @@ mod tests {
         let v = t.time(Phase::Analysis, || 42);
         assert_eq!(v, 42);
         assert!(t.get(Phase::Analysis) >= 0.0);
+    }
+
+    #[test]
+    fn nested_phases_attribute_time_to_exactly_one_phase() {
+        // A Misc span opened inside a LongRange region must claim its own
+        // wall time exclusively: the per-phase totals sum to the elapsed
+        // time of the outer region, with no double-counting.
+        let mut t = Timers::new();
+        t.begin(Phase::LongRange);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.begin(Phase::Misc);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let inner = t.end();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let outer = t.end();
+
+        assert!(inner >= 0.010);
+        assert!(outer >= inner);
+        assert!(t.get(Phase::Misc) >= 0.010);
+        assert!(t.get(Phase::LongRange) > 0.0);
+        // Self-times partition the outer region exactly.
+        assert!(
+            (t.get(Phase::LongRange) + t.get(Phase::Misc) - outer).abs() < 1e-9,
+            "phases {:.6}+{:.6} != outer {:.6}",
+            t.get(Phase::LongRange),
+            t.get(Phase::Misc),
+            outer
+        );
+        assert!((t.total() - outer).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeply_nested_regions_sum_to_elapsed() {
+        let mut t = Timers::new();
+        t.begin(Phase::ShortRange);
+        t.begin(Phase::TreeBuild);
+        t.begin(Phase::Analysis);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        t.end();
+        t.end();
+        let outer = t.end();
+        assert!((t.total() - outer).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching begin")]
+    fn end_without_begin_panics() {
+        let mut t = Timers::new();
+        t.end();
     }
 
     #[test]

@@ -45,6 +45,9 @@ impl PairFlops {
 /// rocprof/ncu profile).
 #[derive(Debug, Clone, Default)]
 pub struct KernelCounters {
+    /// Kernel launches accumulated into this record (one per top-level
+    /// solver invocation of the kernel).
+    pub launches: u64,
     /// Useful floating-point ops (paper convention totals).
     pub flops: u64,
     /// FLOP slots wasted by masked lanes in partially filled warps — these
@@ -69,6 +72,7 @@ pub struct KernelCounters {
 impl KernelCounters {
     /// Merge another launch's counters into this one.
     pub fn merge(&mut self, o: &KernelCounters) {
+        self.launches += o.launches;
         self.flops += o.flops;
         self.masked_lane_flops += o.masked_lane_flops;
         self.global_reads += o.global_reads;

@@ -16,6 +16,8 @@ pub struct ProfileTable {
 pub struct ProfileRow {
     /// Kernel name.
     pub name: String,
+    /// Kernel launches.
+    pub launches: u64,
     /// Useful FLOPs.
     pub flops: u64,
     /// Pair interactions.
@@ -76,6 +78,7 @@ impl ProfileTable {
                 let t = model.kernel_time_s(c);
                 ProfileRow {
                     name: name.clone(),
+                    launches: c.launches,
                     flops: c.flops,
                     pairs: c.pairs,
                     bytes: c.global_bytes(),

@@ -113,6 +113,7 @@ pub fn grav_step(
         }
     }
 
+    counters.launches = 1;
     let mut accel = vec![[0.0f64; 3]; n];
     for (slot, &i) in cm.order.iter().enumerate() {
         let a = &accums[slot].acc;

@@ -75,6 +75,8 @@ pub struct IoStats {
     pub stalls: u64,
     /// Files actually bled to the PFS (real file count).
     pub files_bled: u64,
+    /// Bytes actually copied to the PFS tier by the bleeder.
+    pub bytes_bled: u64,
     /// Files pruned from the PFS.
     pub files_pruned: u64,
     /// Per-step records.
@@ -90,6 +92,21 @@ impl IoStats {
             return 0.0;
         }
         self.bytes_machine as f64 / 1.0e12 / self.blocking_time_s
+    }
+
+    /// Telemetry view: per-tier byte/file counters for the unified
+    /// observability layer (`hacc_telem`). Faults are injected by the
+    /// separate fault harness and start at zero here.
+    pub fn to_telem(&self) -> hacc_telem::IoCounters {
+        hacc_telem::IoCounters {
+            nvme_bytes: self.bytes_local,
+            pfs_bytes: self.bytes_bled,
+            nvme_writes: self.checkpoints,
+            files_bled: self.files_bled,
+            files_pruned: self.files_pruned,
+            stalls: self.stalls,
+            faults: 0,
+        }
     }
 }
 
@@ -136,10 +153,11 @@ impl TieredWriter {
                     } => {
                         // Real copy local -> PFS, then drop the local copy
                         // and prune outdated PFS checkpoints.
-                        if std::fs::copy(&local_path, &pfs_path).is_ok() {
+                        if let Ok(copied) = std::fs::copy(&local_path, &pfs_path) {
                             let _ = std::fs::remove_file(&local_path);
                             let mut s = stats_bg.lock();
                             s.files_bled += 1;
+                            s.bytes_bled += copied;
                             drop(s);
                             // Science outputs (step = MAX) never prune.
                             if step != u64::MAX {

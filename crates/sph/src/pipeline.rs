@@ -372,6 +372,14 @@ pub fn sph_step<K: SphKernel>(
         &mut counters.force,
     );
 
+    // One launch per stage per sph_step invocation (telemetry taxonomy).
+    counters.density.launches = 1;
+    counters.moments.launches = 1;
+    if counters.velgrad.flops > 0 {
+        counters.velgrad.launches = 1;
+    }
+    counters.force.launches = 1;
+
     // ---- Scatter back to original ordering ----
     let mut out = SphResult {
         rho: vec![0.0; n],

@@ -1,0 +1,209 @@
+//! The counter taxonomy: communication, I/O tiers, and GPU kernels.
+//!
+//! All counters are integers incremented on logical events, so their
+//! values are deterministic for a fixed simulation — they belong in
+//! golden artifacts and can be asserted on by regression tests.
+
+/// The collective operations `hacc_ranks::Comm` implements, in report
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CollectiveKind {
+    /// Dissemination barrier.
+    Barrier = 0,
+    /// One-to-all broadcast.
+    Broadcast = 1,
+    /// All-to-one gather.
+    Gather = 2,
+    /// All-to-all gather.
+    AllGather = 3,
+    /// Rank-ordered reduction to every rank.
+    AllReduce = 4,
+    /// Exclusive prefix sum.
+    Exscan = 5,
+    /// Variable-count all-to-all exchange.
+    AllToAllV = 6,
+}
+
+/// Every collective kind, for iteration.
+pub const COLLECTIVE_KINDS: [CollectiveKind; 7] = [
+    CollectiveKind::Barrier,
+    CollectiveKind::Broadcast,
+    CollectiveKind::Gather,
+    CollectiveKind::AllGather,
+    CollectiveKind::AllReduce,
+    CollectiveKind::Exscan,
+    CollectiveKind::AllToAllV,
+];
+
+impl CollectiveKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::Exscan => "exscan",
+            CollectiveKind::AllToAllV => "all_to_allv",
+        }
+    }
+}
+
+/// Per-rank communication counters.
+///
+/// Byte counts are *payload-type* bytes (`size_of::<T>()` per message,
+/// element-counted for the all-to-all-v buffers) — a deterministic proxy
+/// for wire traffic, since the thread-backed transport moves ownership
+/// rather than serializing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommCounters {
+    /// Point-to-point + collective-internal messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Collective entries per kind (indexed by [`CollectiveKind`]).
+    pub collectives: [u64; 7],
+}
+
+impl CommCounters {
+    /// Record one message sent with `bytes` of payload.
+    pub fn record_send(&mut self, bytes: u64) {
+        self.sends += 1;
+        self.bytes_sent += bytes;
+    }
+
+    /// Record one message received.
+    pub fn record_recv(&mut self) {
+        self.recvs += 1;
+    }
+
+    /// Record entry into a collective.
+    pub fn record_collective(&mut self, kind: CollectiveKind) {
+        self.collectives[kind as usize] += 1;
+    }
+
+    /// Calls of one collective kind.
+    pub fn collective(&self, kind: CollectiveKind) -> u64 {
+        self.collectives[kind as usize]
+    }
+
+    /// Total collective entries across kinds.
+    pub fn total_collectives(&self) -> u64 {
+        self.collectives.iter().sum()
+    }
+
+    /// Elementwise merge (e.g. across ranks).
+    pub fn merge(&mut self, o: &CommCounters) {
+        self.sends += o.sends;
+        self.recvs += o.recvs;
+        self.bytes_sent += o.bytes_sent;
+        for (a, b) in self.collectives.iter_mut().zip(&o.collectives) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-rank tiered-I/O counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Bytes written synchronously to the node-local tier (NVMe).
+    pub nvme_bytes: u64,
+    /// Bytes bled asynchronously to the PFS tier.
+    pub pfs_bytes: u64,
+    /// Files written to the local tier (checkpoints + science outputs).
+    pub nvme_writes: u64,
+    /// Files that completed the bleed to the PFS.
+    pub files_bled: u64,
+    /// Checkpoints pruned from the PFS window.
+    pub files_pruned: u64,
+    /// Bleed-backlog stalls taken on the blocking path.
+    pub stalls: u64,
+    /// Faults injected / observed (fault-tolerance harness).
+    pub faults: u64,
+}
+
+impl IoCounters {
+    /// Elementwise merge (e.g. across ranks).
+    pub fn merge(&mut self, o: &IoCounters) {
+        self.nvme_bytes += o.nvme_bytes;
+        self.pfs_bytes += o.pfs_bytes;
+        self.nvme_writes += o.nvme_writes;
+        self.files_bled += o.files_bled;
+        self.files_pruned += o.files_pruned;
+        self.stalls += o.stalls;
+        self.faults += o.faults;
+    }
+}
+
+/// One per-kernel GPU profile row (launches/FLOPs/bytes via the
+/// `hacc_gpusim::ProfileTable`), already merged across ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuKernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Useful FLOPs.
+    pub flops: u64,
+    /// Global-memory bytes.
+    pub bytes: u64,
+    /// Pair interactions evaluated.
+    pub pairs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_counters_accumulate_and_merge() {
+        let mut a = CommCounters::default();
+        a.record_send(100);
+        a.record_send(28);
+        a.record_recv();
+        a.record_collective(CollectiveKind::AllReduce);
+        a.record_collective(CollectiveKind::AllReduce);
+        a.record_collective(CollectiveKind::Barrier);
+        assert_eq!(a.sends, 2);
+        assert_eq!(a.bytes_sent, 128);
+        assert_eq!(a.collective(CollectiveKind::AllReduce), 2);
+        assert_eq!(a.total_collectives(), 3);
+
+        let mut b = CommCounters::default();
+        b.record_collective(CollectiveKind::Barrier);
+        b.record_send(2);
+        b.merge(&a);
+        assert_eq!(b.sends, 3);
+        assert_eq!(b.collective(CollectiveKind::Barrier), 2);
+    }
+
+    #[test]
+    fn collective_kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            COLLECTIVE_KINDS.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), COLLECTIVE_KINDS.len());
+    }
+
+    #[test]
+    fn io_counters_merge() {
+        let mut a = IoCounters {
+            nvme_bytes: 10,
+            pfs_bytes: 8,
+            nvme_writes: 1,
+            ..Default::default()
+        };
+        let b = IoCounters {
+            nvme_bytes: 5,
+            faults: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nvme_bytes, 15);
+        assert_eq!(a.faults, 2);
+        assert_eq!(a.nvme_writes, 1);
+    }
+}

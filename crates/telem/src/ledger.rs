@@ -1,0 +1,161 @@
+//! The per-step conservation ledger.
+//!
+//! Once per PM step the driver reduces the global particle count, mass,
+//! momentum, and kinetic + internal energy across ranks (in rank order,
+//! so the sums are deterministic) and appends one [`LedgerRecord`]. The
+//! ledger is the physics assertion surface of the test tier: particle
+//! count must be *exactly* conserved through overload exchange and
+//! migration; mass, momentum, and energy drifts must stay within the
+//! documented bounds (see `tests/hydro_physics.rs`).
+//!
+//! Velocities here are the code's momentum variable `p = a² dx/dτ`, so
+//! "kinetic" is `Σ ½ m |p|²` — a conserved-form diagnostic, not a
+//! physical energy in erg. What matters for the oracle is that the same
+//! functional is tracked every step.
+
+/// One step's globally reduced conservation snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerRecord {
+    /// PM step index.
+    pub step: u64,
+    /// Global particle count (owned particles only; ghosts excluded).
+    pub count: u64,
+    /// Total mass, M_sun/h.
+    pub mass: f64,
+    /// Net momentum `Σ m p`, per component.
+    pub momentum: [f64; 3],
+    /// Gross momentum scale `Σ m |p|` (denominator for drift ratios).
+    pub momentum_scale: f64,
+    /// Kinetic sum `Σ ½ m |p|²`.
+    pub kinetic: f64,
+    /// Internal-energy sum `Σ m u`.
+    pub internal: f64,
+}
+
+impl LedgerRecord {
+    /// Kinetic + internal total.
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic + self.internal
+    }
+
+    /// Net momentum magnitude.
+    pub fn momentum_norm(&self) -> f64 {
+        self.momentum.iter().map(|p| p * p).sum::<f64>().sqrt()
+    }
+}
+
+/// The per-run sequence of ledger records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConservationLedger {
+    records: Vec<LedgerRecord>,
+}
+
+impl ConservationLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one step's record.
+    pub fn push(&mut self, r: LedgerRecord) {
+        self.records.push(r);
+    }
+
+    /// All records, in step order.
+    pub fn records(&self) -> &[LedgerRecord] {
+        &self.records
+    }
+
+    /// True when no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the particle count identical in every record?
+    pub fn count_conserved(&self) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| w[0].count == w[1].count)
+    }
+
+    /// Relative mass drift `|m_end − m_0| / m_0` (zero when empty).
+    pub fn mass_drift(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => (b.mass - a.mass).abs() / a.mass.abs().max(1e-300),
+            _ => 0.0,
+        }
+    }
+
+    /// Relative total-energy drift between the first and last record,
+    /// normalized by the larger magnitude.
+    pub fn energy_drift(&self) -> f64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => {
+                let (e0, e1) = (a.total_energy(), b.total_energy());
+                (e1 - e0).abs() / e0.abs().max(e1.abs()).max(1e-300)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Worst net-momentum fraction `|Σ m p| / Σ m |p|` over all steps —
+    /// the conservation diagnostic (ICs have exactly zero net momentum).
+    pub fn max_momentum_fraction(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.momentum_norm() / r.momentum_scale.max(1e-300))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, count: u64, mass: f64, ke: f64, ie: f64) -> LedgerRecord {
+        LedgerRecord {
+            step,
+            count,
+            mass,
+            momentum: [1.0, -2.0, 2.0],
+            momentum_scale: 100.0,
+            kinetic: ke,
+            internal: ie,
+        }
+    }
+
+    #[test]
+    fn count_conservation_detected() {
+        let mut l = ConservationLedger::new();
+        l.push(rec(0, 10, 5.0, 1.0, 1.0));
+        l.push(rec(1, 10, 5.0, 1.1, 0.9));
+        assert!(l.count_conserved());
+        l.push(rec(2, 9, 5.0, 1.1, 0.9));
+        assert!(!l.count_conserved());
+    }
+
+    #[test]
+    fn drifts_are_relative() {
+        let mut l = ConservationLedger::new();
+        l.push(rec(0, 10, 5.0, 2.0, 2.0));
+        l.push(rec(1, 10, 5.0, 2.2, 2.2));
+        assert!(l.mass_drift() < 1e-15);
+        assert!((l.energy_drift() - 0.4 / 4.4).abs() < 1e-12);
+        // |(1,-2,2)| = 3 over scale 100.
+        assert!((l.max_momentum_fraction() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_quiet() {
+        let l = ConservationLedger::new();
+        assert!(l.is_empty());
+        assert!(l.count_conserved());
+        assert_eq!(l.energy_drift(), 0.0);
+        assert_eq!(l.max_momentum_fraction(), 0.0);
+    }
+}

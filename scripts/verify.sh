@@ -38,4 +38,48 @@ cargo build --release --offline
 echo "== test (offline) =="
 cargo test -q --offline
 
+echo "== tier 2: warnings-as-errors build =="
+RUSTFLAGS="-D warnings" cargo build --release --offline
+
+echo "== tier 2: release test suite =="
+cargo test --release -q --offline
+
+echo "== tier 2: telemetry golden-section determinism =="
+# Two identical runs must produce byte-identical Chrome traces and
+# byte-identical golden regions of the text report; wall-clock content
+# is confined to the non-golden appendix.
+tdir=$(mktemp -d)
+trap 'rm -rf "$tdir"' EXIT
+for run in a b; do
+    ./target/release/frontier-sim run \
+        --np 8 --ranks 2 --steps 2 --physics gravity --seed 4242 \
+        --out "$tdir/io-$run" --telemetry "$tdir/telem-$run" \
+        > "$tdir/stdout-$run.log"
+done
+cmp "$tdir/telem-a/trace.json" "$tdir/telem-b/trace.json" || {
+    echo "error: chrome traces differ between identical runs" >&2
+    exit 1
+}
+golden() {
+    sed -n '/# === GOLDEN BEGIN ===/,/# === GOLDEN END ===/p' "$1"
+}
+golden "$tdir/telem-a/report.txt" > "$tdir/golden-a.txt"
+golden "$tdir/telem-b/report.txt" > "$tdir/golden-b.txt"
+[ -s "$tdir/golden-a.txt" ] || {
+    echo "error: report.txt has no golden region" >&2
+    exit 1
+}
+cmp "$tdir/golden-a.txt" "$tdir/golden-b.txt" || {
+    echo "error: golden report regions differ between identical runs" >&2
+    exit 1
+}
+# Lint: no wall-clock content may leak into golden artifacts. Golden
+# sections carry logical sequence numbers and counters only.
+if grep -niE 'wall|elapsed|seconds|[0-9]s\b' \
+    "$tdir/golden-a.txt" "$tdir/telem-a/trace.json"; then
+    echo "error: wall-clock content leaked into a golden artifact" >&2
+    exit 1
+fi
+echo "ok: telemetry golden sections are byte-identical and wall-free"
+
 echo "verify.sh: all checks passed"

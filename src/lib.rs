@@ -17,5 +17,6 @@ pub use hacc_ranks as ranks;
 pub use hacc_sph as sph;
 pub use hacc_subgrid as subgrid;
 pub use hacc_swfft as swfft;
+pub use hacc_telem as telem;
 pub use hacc_tree as tree;
 pub use hacc_units as units;

@@ -3,6 +3,7 @@
 //! ```text
 //! frontier-sim run   [--np N] [--ranks R] [--steps S] [--physics hydro|adiabatic|gravity]
 //!                    [--zi Z] [--zf Z] [--seed S] [--out DIR] [--flat] [--resume]
+//!                    [--telemetry DIR]
 //! frontier-sim scaling [--ranks-max R]
 //! frontier-sim info
 //! ```
@@ -32,6 +33,7 @@ fn main() {
                  \x20 --out DIR       I/O directory (enables restart)\n\
                  \x20 --flat          synchronized deepest-rung stepping\n\
                  \x20 --resume        resume from the newest checkpoint in --out\n\
+                 \x20 --telemetry DIR write trace.json + report.txt to DIR\n\
                  \n\
                  scaling options:\n\
                  \x20 --ranks-max R   largest rank count in the sweep (default 4)"
@@ -109,6 +111,21 @@ fn cmd_run(args: &[String]) {
         run_simulation(&cfg, ranks)
     };
     let wall = t0.elapsed().as_secs_f64();
+
+    let telemetry_dir: String = parse_opt(args, "--telemetry", String::new());
+    if !telemetry_dir.is_empty() {
+        let dir = std::path::Path::new(&telemetry_dir);
+        std::fs::create_dir_all(dir).expect("create telemetry dir");
+        std::fs::write(dir.join("trace.json"), report.telemetry.chrome_trace())
+            .expect("write trace.json");
+        std::fs::write(dir.join("report.txt"), report.telemetry.text_report())
+            .expect("write report.txt");
+        println!(
+            "telemetry: wrote {} and {}",
+            dir.join("trace.json").display(),
+            dir.join("report.txt").display()
+        );
+    }
 
     println!("\ncompleted {} step(s) in {wall:.1} s", report.steps.len());
     println!("\nphase breakdown:");

@@ -75,6 +75,103 @@ fn gravity_only_run_has_no_thermal_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// --- conservation-ledger tier ---------------------------------------
+//
+// The driver reduces a per-step conservation snapshot across ranks (the
+// `hacc_telem` ledger); these tests are the physics oracle over it.
+// Documented bounds for the miniature 3-step configurations here:
+//
+//  * particle count — exactly conserved (star formation converts gas
+//    1:1, migration/overload never lose particles);
+//  * total mass — conserved to accumulation roundoff, < 1e-12 relative;
+//  * net momentum — pairwise-antisymmetric forces plus stale-ghost
+//    asymmetry keep |Σ m p| below 5% of Σ m |p| every step (measured
+//    ~3e-3; the bound leaves headroom for seed variation);
+//  * energy — the tracked functional (Σ ½m|p|² + Σ m u) has no potential
+//    term, so gravitational collapse legitimately grows it. The bound is
+//    a runaway detector: relative drift < 0.9 over 3 steps (measured
+//    ~0.73-0.76), every entry finite and non-negative.
+
+fn ledger_cfg(physics: Physics) -> SimConfig {
+    let mut c = SimConfig::small(8);
+    c.physics = physics;
+    c.pm_steps = 3;
+    c.max_rung = 1;
+    c.analysis_every = 0;
+    c.checkpoint_every = 0;
+    c
+}
+
+#[test]
+fn ledger_particle_count_exactly_conserved() {
+    for physics in [Physics::GravityOnly, Physics::Hydro] {
+        let r = run_simulation(&ledger_cfg(physics), 2);
+        assert_eq!(r.ledger.len(), 3);
+        assert!(r.ledger.count_conserved(), "{physics:?} lost particles");
+        for rec in r.ledger.records() {
+            assert_eq!(rec.count, r.total_particles, "{physics:?} step {}", rec.step);
+        }
+    }
+}
+
+#[test]
+fn ledger_mass_conserved_to_roundoff() {
+    for physics in [Physics::GravityOnly, Physics::HydroAdiabatic, Physics::Hydro] {
+        let r = run_simulation(&ledger_cfg(physics), 2);
+        assert!(
+            r.ledger.mass_drift() < 1e-12,
+            "{physics:?}: mass drift {:.3e}",
+            r.ledger.mass_drift()
+        );
+        assert!(r.ledger.records().iter().all(|rec| rec.mass > 0.0));
+    }
+}
+
+#[test]
+fn ledger_momentum_fraction_bounded_every_step() {
+    for physics in [Physics::GravityOnly, Physics::Hydro] {
+        let r = run_simulation(&ledger_cfg(physics), 2);
+        let frac = r.ledger.max_momentum_fraction();
+        assert!(
+            frac < 0.05,
+            "{physics:?}: net momentum fraction {frac:.3e} exceeds bound"
+        );
+    }
+}
+
+#[test]
+fn ledger_energy_drift_within_documented_bound() {
+    for physics in [Physics::GravityOnly, Physics::HydroAdiabatic, Physics::Hydro] {
+        let r = run_simulation(&ledger_cfg(physics), 2);
+        for rec in r.ledger.records() {
+            assert!(rec.kinetic.is_finite() && rec.kinetic >= 0.0);
+            assert!(rec.internal.is_finite() && rec.internal >= 0.0);
+        }
+        let drift = r.ledger.energy_drift();
+        assert!(
+            drift < 0.9,
+            "{physics:?}: energy drift {drift:.3e} looks like a runaway"
+        );
+        // Gravity-only runs carry no thermal state in the ledger either.
+        if physics == Physics::GravityOnly {
+            assert!(r.ledger.records().iter().all(|rec| rec.internal == 0.0));
+        }
+    }
+}
+
+#[test]
+fn ledger_is_identical_on_report_and_telemetry() {
+    // The ledger the report exposes is the one the telemetry bundle
+    // exports — a single source of truth for the oracle and the golden
+    // artifacts.
+    let r = run_simulation(&ledger_cfg(Physics::HydroAdiabatic), 2);
+    assert_eq!(r.ledger, r.telemetry.ledger);
+    let txt = r.telemetry.text_report();
+    for rec in r.ledger.records() {
+        assert!(txt.contains(&format!("{} {}", rec.step, rec.count)));
+    }
+}
+
 #[test]
 fn deeper_rungs_cost_more_substeps() {
     let (mut c, dir) = cfg("rungs", Physics::HydroAdiabatic);

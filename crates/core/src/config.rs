@@ -68,6 +68,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Scratch directory for I/O; `None` uses a temp dir.
     pub io_dir: Option<std::path::PathBuf>,
+    /// Fault-injection spec for the supervised chaos path (the `--chaos`
+    /// flag; see `hacc_fault::FaultPlan::parse` for the grammar). `None`
+    /// or an empty plan runs the plain unsupervised path.
+    pub chaos: Option<String>,
 }
 
 impl SimConfig {
@@ -101,6 +105,7 @@ impl SimConfig {
             sf_nh_threshold: 1.0e-5,
             seed: 8675309,
             io_dir: None,
+            chaos: None,
         }
     }
 
@@ -131,6 +136,7 @@ impl SimConfig {
             sf_nh_threshold: 0.13,
             seed: 42,
             io_dir: None,
+            chaos: None,
         }
     }
 

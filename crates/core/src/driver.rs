@@ -30,15 +30,16 @@ use hacc_analysis::twopoint::XiBin;
 use hacc_analysis::{
     compton_y_map, correlation_function, fof_halos, measure_power, populate, HodParams, Lbvh,
 };
-use hacc_gpusim::{ExecutionModel, KernelCounters, ProfileTable};
+use hacc_fault::{FaultPlan, FaultProbe, FaultState};
+use hacc_gpusim::{execute_with_relaunch, ExecutionModel, KernelCounters, ProfileTable};
 use hacc_grav::{grav_step, GravConfig};
 use hacc_iosim::format::Block;
 use hacc_iosim::{IoStats, TieredConfig, TieredWriter};
 use hacc_mesh::{PmConfig, PmSolver};
 use hacc_ranks::{CartDecomp, Comm, World};
 use hacc_telem::{
-    CommCounters, ConservationLedger, GpuKernelRow, LedgerRecord, RankTelemetry, Span,
-    TelemetryReport, Tracer,
+    CommCounters, ConservationLedger, FaultCounters, FaultKind, GpuKernelRow, LedgerRecord,
+    RankTelemetry, Span, TelemetryReport, Tracer,
 };
 use hacc_sph::pipeline::{cfl_timestep, sph_step, SphConfig, SphInput};
 use hacc_sph::CubicSpline;
@@ -122,6 +123,15 @@ pub struct SimReport {
     /// The unified telemetry bundle: per-rank spans and counters, merged
     /// GPU kernel rows, the ledger, and the non-golden wall-clock phases.
     pub telemetry: TelemetryReport,
+    /// FNV-1a hash over the id-sorted final particle state (exact f64
+    /// bit patterns) — the bitwise recovery contract: a supervised run
+    /// that survived faults must report the same hash as an
+    /// uninterrupted same-seed run.
+    pub final_state_hash: u64,
+    /// Supervisor attempts this run took (1 = no fatal fault).
+    pub attempts: u64,
+    /// Rollback recoveries the supervisor performed.
+    pub rollbacks: u64,
 }
 
 /// Hard cap on smoothing lengths, in units of the interparticle spacing.
@@ -149,14 +159,33 @@ struct RankOutput {
     updates: u64,
     momentum: [f64; 3],
     momentum_scale: f64,
+    faults: FaultCounters,
+    state_hash: u64,
+}
+
+/// Where a rank's initial state comes from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ResumeMode {
+    /// Fresh start from initial conditions.
+    Fresh,
+    /// Resume from this rank's newest CRC-valid checkpoint (the CLI
+    /// `--resume` path; panics when none exists).
+    Latest,
+    /// Supervisor rollback: resume from the newest checkpoint that is
+    /// CRC-valid on *every* rank (a torn or corrupted file on one rank
+    /// invalidates that step globally). Falls back to a cold start from
+    /// the initial conditions when no common step survives.
+    Consistent,
 }
 
 /// Run the configured simulation on `n_ranks` simulated ranks.
 pub fn run_simulation(cfg: &SimConfig, n_ranks: usize) -> SimReport {
     cfg.validate();
     let io_base = resolve_io_base(cfg);
-    let outputs = World::run(n_ranks, |comm| rank_main(cfg, comm, &io_base, false));
-    assemble_report(cfg, outputs)
+    let outputs = World::run(n_ranks, |comm| {
+        rank_main(cfg, comm, &io_base, ResumeMode::Fresh, None)
+    });
+    assemble_report(cfg, outputs, 1, 0)
 }
 
 /// Resume an interrupted run from the newest CRC-valid checkpoint on the
@@ -170,8 +199,64 @@ pub fn resume_simulation(cfg: &SimConfig, n_ranks: usize) -> SimReport {
         "resume requires cfg.io_dir pointing at the interrupted run"
     );
     let io_base = resolve_io_base(cfg);
-    let outputs = World::run(n_ranks, |comm| rank_main(cfg, comm, &io_base, true));
-    assemble_report(cfg, outputs)
+    let outputs = World::run(n_ranks, |comm| {
+        rank_main(cfg, comm, &io_base, ResumeMode::Latest, None)
+    });
+    assemble_report(cfg, outputs, 1, 0)
+}
+
+/// Run under the fault supervisor: parse `cfg.chaos` into a [`FaultPlan`]
+/// and execute the simulation with per-rank fault probes armed through
+/// the whole stack (comm transport, tiered writer, GPU launches, step
+/// loop). Transient faults recover in place; a fatal fault (rank panic)
+/// tears the world down, and the supervisor rolls back to the newest
+/// globally consistent checkpoint and re-runs — planned events fire
+/// exactly once per supervised run, so the replay converges and the
+/// recovered run reports the same `final_state_hash` as an uninterrupted
+/// same-seed run.
+///
+/// With no chaos spec (or an empty plan) this delegates to
+/// [`run_simulation`]: no probes are armed and behavior is identical to
+/// the unsupervised path.
+pub fn run_supervised(cfg: &SimConfig, n_ranks: usize) -> SimReport {
+    cfg.validate();
+    let plan = match cfg.chaos.as_deref() {
+        Some(spec) => FaultPlan::parse(spec, cfg.seed, cfg.pm_steps as u64, n_ranks)
+            .unwrap_or_else(|e| panic!("invalid chaos spec: {e}")),
+        None => FaultPlan::empty(),
+    };
+    if plan.is_empty() {
+        return run_simulation(cfg, n_ranks);
+    }
+    let io_base = resolve_io_base(cfg);
+    // Each fatal event can kill at most one attempt (consumed flags
+    // survive rollbacks), so the event count bounds the retries; +1 for
+    // the final clean attempt.
+    let max_attempts = plan.events.len() as u64 + 1;
+    let state = std::sync::Arc::new(FaultState::new(plan, n_ranks));
+    let mut resume_mode = ResumeMode::Fresh;
+    loop {
+        state.begin_attempt();
+        let st = std::sync::Arc::clone(&state);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            World::run(n_ranks, |comm| {
+                let probe = FaultProbe::new(std::sync::Arc::clone(&st), comm.rank());
+                rank_main(cfg, comm, &io_base, resume_mode, Some(probe))
+            })
+        }));
+        match result {
+            Ok(outputs) => {
+                return assemble_report(cfg, outputs, state.attempts(), state.rollbacks());
+            }
+            Err(cause) => {
+                if state.attempts() >= max_attempts {
+                    std::panic::resume_unwind(cause);
+                }
+                state.record_rollback();
+                resume_mode = ResumeMode::Consistent;
+            }
+        }
+    }
 }
 
 fn resolve_io_base(cfg: &SimConfig) -> std::path::PathBuf {
@@ -184,7 +269,12 @@ fn resolve_io_base(cfg: &SimConfig) -> std::path::PathBuf {
     })
 }
 
-fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
+fn assemble_report(
+    cfg: &SimConfig,
+    outputs: Vec<RankOutput>,
+    attempts: u64,
+    rollbacks: u64,
+) -> SimReport {
     let n_ranks = outputs.len();
     let mut timers = Timers::new();
     let mut counters = KernelCounters::default();
@@ -231,6 +321,7 @@ fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
                 spans: o.spans.clone(),
                 comm: o.comm.clone(),
                 io: o.io.as_ref().map(|s| s.to_telem()).unwrap_or_default(),
+                faults: o.faults.clone(),
             })
             .collect(),
         gpu,
@@ -239,6 +330,8 @@ fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
             .iter()
             .map(|&p| (p.name().to_string(), timers.get(p)))
             .collect(),
+        attempts,
+        rollbacks,
     };
     SimReport {
         n_ranks,
@@ -261,6 +354,9 @@ fn assemble_report(cfg: &SimConfig, outputs: Vec<RankOutput>) -> SimReport {
         momentum_scale,
         ledger: first.ledger.clone(),
         telemetry,
+        final_state_hash: first.state_hash,
+        attempts,
+        rollbacks,
     }
 }
 
@@ -269,18 +365,47 @@ fn rank_main(
     cfg: &SimConfig,
     comm: &mut Comm,
     io_base: &std::path::Path,
-    resume: bool,
+    resume_mode: ResumeMode,
+    probe: Option<FaultProbe>,
 ) -> RankOutput {
+    if let Some(p) = &probe {
+        comm.arm_faults(p.clone());
+    }
     let bg = Background::new(cfg.cosmology);
     let kd = KickDrift::new(cfg.cosmology);
     let decomp = CartDecomp::new(comm.size());
-    let (mut store, start_step) = if resume {
-        let pfs = io_base.join("pfs").join(format!("rank-{}", comm.rank()));
-        let (step, blocks) = TieredWriter::load_latest_valid(&pfs)
-            .expect("no valid checkpoint to resume from");
-        (store_from_blocks(&blocks), step as usize + 1)
-    } else {
-        (generate_ics(cfg, &bg, &decomp, comm.rank()), 0)
+    let pfs = io_base.join("pfs").join(format!("rank-{}", comm.rank()));
+    let (mut store, start_step) = match resume_mode {
+        ResumeMode::Fresh => (generate_ics(cfg, &bg, &decomp, comm.rank()), 0),
+        ResumeMode::Latest => {
+            let (step, blocks) = TieredWriter::load_latest_valid(&pfs)
+                .expect("no valid checkpoint to resume from");
+            (store_from_blocks(&blocks), step as usize + 1)
+        }
+        ResumeMode::Consistent => {
+            // A checkpoint step only counts if every rank can read it:
+            // intersect the per-rank valid sets (deterministic — pure
+            // function of the on-disk files).
+            let mine = TieredWriter::valid_checkpoint_steps(&pfs);
+            let all = comm.all_gather(mine);
+            let common = all
+                .iter()
+                .skip(1)
+                .fold(all[0].clone(), |acc, v| {
+                    acc.into_iter().filter(|s| v.contains(s)).collect()
+                });
+            match common.last() {
+                Some(&step) => {
+                    let blocks = TieredWriter::load_checkpoint_at(&pfs, step)
+                        .expect("validated in the intersection above");
+                    (store_from_blocks(&blocks), step as usize + 1)
+                }
+                // No surviving common checkpoint: cold-start from the
+                // ICs. Convergent because consumed fault events never
+                // re-fire on the replay.
+                None => (generate_ics(cfg, &bg, &decomp, comm.rank()), 0),
+            }
+        }
     };
     let mut rng =
         rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (comm.rank() as u64) << 32 | 1);
@@ -324,6 +449,9 @@ fn rank_main(
     };
     let mut writer = (cfg.checkpoint_every > 0)
         .then(|| TieredWriter::new(tiered_cfg).expect("io setup"));
+    if let (Some(p), Some(w)) = (&probe, writer.as_mut()) {
+        w.arm_faults(p.clone());
+    }
 
     let mut timers = Timers::new();
     let mut tracer = Tracer::new(comm.rank());
@@ -344,6 +472,9 @@ fn rank_main(
         let step_t0 = std::time::Instant::now();
         let counters_step_start = counters.clone();
         tracer.set_step(step as u64);
+        if let Some(p) = &probe {
+            p.set_step(step as u64);
+        }
         let sp_step = tracer.begin("step", &format!("step-{step}"));
 
         // --- 1. migrate + overload refresh ---
@@ -439,6 +570,18 @@ fn rank_main(
         // --- 4. short-range subcycle block (chained KDK) ---
         let sp_sr = tracer.begin("short-range", "subcycle-block");
         timers.begin(Phase::ShortRange);
+        // Planned rank loss fires here — mid-step, after this step's
+        // migrate/PM work but before its checkpoint, so the newest
+        // checkpoint on disk predates the killed step (the node-loss
+        // shape the Frontier-E campaign actually survived).
+        if let Some(p) = &probe {
+            if p.fire(FaultKind::RankPanic) {
+                panic!(
+                    "injected fault: rank {} lost at step {step}",
+                    comm.rank()
+                );
+            }
+        }
         let mut stars_this_step = 0u64;
         let kick_with_forces = |store: &mut ParticleStore,
                                     cm: &ChainingMesh,
@@ -448,10 +591,33 @@ fn rank_main(
                                     a: f64,
                                     width: f64|
          -> u64 {
-            // Short-range gravity for everyone.
-            let g = grav_step(&store.pos, &store.mass, cm, &grav_cfg);
-            counters.merge(&g.counters);
-            profile.record("grav_short_range", &g.counters);
+            // Short-range gravity for everyone. Launches go through the
+            // relaunch harness: an injected launch failure discards the
+            // attempt and recomputes — deterministic inputs make the
+            // retry bit-identical, so physics is unaffected.
+            let mut launch_counters = KernelCounters::default();
+            let g = execute_with_relaunch(
+                4,
+                &mut launch_counters,
+                |_| {
+                    probe
+                        .as_ref()
+                        .map(|p| p.fire(FaultKind::GpuLaunch))
+                        .unwrap_or(false)
+                },
+                || {
+                    let g = grav_step(&store.pos, &store.mass, cm, &grav_cfg);
+                    let c = g.counters.clone();
+                    (g, c)
+                },
+            );
+            if let Some(p) = &probe {
+                for _ in 0..launch_counters.relaunches {
+                    p.recovered(FaultKind::GpuLaunch);
+                }
+            }
+            counters.merge(&launch_counters);
+            profile.record("grav_short_range", &launch_counters);
             let mut upd = store.n_owned as u64;
             for i in 0..store.n_owned {
                 for d in 0..3 {
@@ -712,6 +878,8 @@ fn rank_main(
     timers.end();
     tracer.end(sp);
 
+    let state_hash = global_state_hash(comm, &store, cfg.box_size);
+    let faults = probe.as_ref().map(|p| p.counters()).unwrap_or_default();
     let io = writer.map(|w| w.finish());
     let utilization = model.utilization(&counters);
     let mut momentum = [0.0f64; 3];
@@ -742,7 +910,64 @@ fn rank_main(
         updates,
         momentum,
         momentum_scale,
+        faults,
+        state_hash,
     }
+}
+
+/// FNV-1a over a byte slice (streaming).
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+/// Bitwise hash of the global particle state: rows of (id, box-wrapped
+/// position, velocity, mass, u, metals, h) gathered to rank 0, sorted by
+/// particle id, and folded with FNV-1a over the exact little-endian f64
+/// bit patterns. The id sort makes the hash independent of ownership and
+/// in-rank ordering; the wrap makes it match the checkpoint's canonical
+/// form, so a recovered run and its uninterrupted reference agree
+/// bit-for-bit or not at all. Every rank returns the same value.
+fn global_state_hash(comm: &mut Comm, store: &ParticleStore, box_size: f64) -> u64 {
+    let n = store.n_owned;
+    let rows: Vec<(u64, [u64; 10])> = (0..n)
+        .map(|i| {
+            (
+                store.id[i],
+                [
+                    store.pos[i][0].rem_euclid(box_size).to_bits(),
+                    store.pos[i][1].rem_euclid(box_size).to_bits(),
+                    store.pos[i][2].rem_euclid(box_size).to_bits(),
+                    store.vel[i][0].to_bits(),
+                    store.vel[i][1].to_bits(),
+                    store.vel[i][2].to_bits(),
+                    store.mass[i].to_bits(),
+                    store.u[i].to_bits(),
+                    store.metals[i].to_bits(),
+                    store.h[i].to_bits(),
+                ],
+            )
+        })
+        .collect();
+    let gathered = comm.gather(0, rows);
+    let hash = if let Some(per_rank) = gathered {
+        let mut flat: Vec<(u64, [u64; 10])> =
+            per_rank.into_iter().flatten().collect();
+        flat.sort_by_key(|r| r.0);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (id, words) in flat {
+            fnv1a(&mut h, &id.to_le_bytes());
+            for w in words {
+                fnv1a(&mut h, &w.to_le_bytes());
+            }
+        }
+        h
+    } else {
+        0
+    };
+    comm.broadcast(0, hash)
 }
 
 /// Cooling, star formation, and SN feedback over one substep.

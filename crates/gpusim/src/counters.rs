@@ -67,6 +67,9 @@ pub struct KernelCounters {
     pub warps: u64,
     /// Pair interactions evaluated.
     pub pairs: u64,
+    /// Failed launches that were retried (fault injection); the failed
+    /// attempts' work is discarded and not otherwise counted here.
+    pub relaunches: u64,
 }
 
 impl KernelCounters {
@@ -82,6 +85,7 @@ impl KernelCounters {
         self.max_registers = self.max_registers.max(o.max_registers);
         self.warps += o.warps;
         self.pairs += o.pairs;
+        self.relaunches += o.relaunches;
     }
 
     /// Total global-memory traffic in bytes (f32 words).

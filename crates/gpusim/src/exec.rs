@@ -224,6 +224,38 @@ fn count_pair<K: SplitKernel>(
     }
 }
 
+/// Run a kernel launch with retry-on-failure semantics.
+///
+/// `launch` produces a result plus the counters the attempt accrued;
+/// `failed(attempt)` reports whether that attempt is to be treated as a
+/// failed launch (the fault plane decides — this crate stays ignorant of
+/// plans and probes). A failed attempt's result *and counters* are
+/// discarded — the relaunch recomputes from the same inputs, so results
+/// are bit-identical to a clean launch — while `counters.relaunches`
+/// records the wasted attempt. Panics after `max_attempts` consecutive
+/// failures (a hard-down device is not survivable in-place; the
+/// supervisor's rollback path owns that case).
+pub fn execute_with_relaunch<R>(
+    max_attempts: u32,
+    counters: &mut KernelCounters,
+    mut failed: impl FnMut(u32) -> bool,
+    mut launch: impl FnMut() -> (R, KernelCounters),
+) -> R {
+    assert!(max_attempts > 0);
+    for attempt in 0..max_attempts {
+        let (result, attempt_counters) = launch();
+        if failed(attempt) {
+            // The launch died: its work never landed. Count only the
+            // fact of the relaunch.
+            counters.relaunches += 1;
+            continue;
+        }
+        counters.merge(&attempt_counters);
+        return result;
+    }
+    panic!("kernel launch failed {max_attempts} consecutive attempts");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +421,63 @@ mod tests {
         execute_leaf_pair(&TestKernel, &dev, ExecMode::WarpSplit, &s, &e, &mut a, &mut ae, &mut c);
         assert_eq!(c.pairs, 0);
         assert!(a.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn relaunch_discards_failed_attempt_and_matches_clean_run() {
+        let dev = DeviceSpec::mi250x_gcd();
+        let si = make_states(40, 0.0);
+        let sj = make_states(30, 5.0);
+
+        let clean_run = || {
+            let mut ai = vec![0.0; 40];
+            let mut aj = vec![0.0; 30];
+            let mut c = KernelCounters::default();
+            execute_leaf_pair(
+                &TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c,
+            );
+            (ai, aj, c)
+        };
+        let (ai_ref, aj_ref, c_ref) = clean_run();
+
+        // First launch "fails"; the retry must reproduce the clean run
+        // bit-for-bit, with only `relaunches` recording the waste.
+        let mut c = KernelCounters::default();
+        let (ai, aj) = execute_with_relaunch(
+            3,
+            &mut c,
+            |attempt| attempt == 0,
+            || {
+                let (ai, aj, c) = clean_run();
+                ((ai, aj), c)
+            },
+        );
+        assert_eq!(ai, ai_ref);
+        assert_eq!(aj, aj_ref);
+        assert_eq!(c.relaunches, 1);
+        assert_eq!(c.flops, c_ref.flops, "failed attempt's flops discarded");
+        assert_eq!(c.warps, c_ref.warps);
+    }
+
+    #[test]
+    fn relaunch_without_failures_is_transparent() {
+        let mut c = KernelCounters::default();
+        let v = execute_with_relaunch(
+            3,
+            &mut c,
+            |_| false,
+            || (7u64, KernelCounters { flops: 11, ..Default::default() }),
+        );
+        assert_eq!(v, 7);
+        assert_eq!(c.relaunches, 0);
+        assert_eq!(c.flops, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive attempts")]
+    fn relaunch_gives_up_after_max_attempts() {
+        let mut c = KernelCounters::default();
+        let _: () = execute_with_relaunch(2, &mut c, |_| true, || ((), KernelCounters::default()));
     }
 
     #[test]

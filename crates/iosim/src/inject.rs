@@ -1,0 +1,90 @@
+//! Deterministic storage-fault primitives for the chaos tier.
+//!
+//! Unlike [`crate::faults`] — which *samples* interrupts from a
+//! statistical MTTI model to study checkpoint cadence — this module
+//! damages concrete files on demand, driven by a planned
+//! `hacc_fault::FaultProbe`. The damage is exactly what the format
+//! layer's defenses exist for: torn writes are caught as truncation,
+//! flipped bytes as CRC mismatches, and restart logic must skip both.
+
+use std::io;
+use std::path::Path;
+
+/// Modeled controller-reset backoff added to the blocking write path
+/// when a transient NVMe error forces a full retry, seconds.
+pub const NVME_RETRY_BACKOFF_S: f64 = 0.5;
+
+/// Tear a file: truncate it to 5/8 of its length, as if the writer died
+/// mid-write. Returns the new length.
+pub fn tear_file(path: &Path) -> io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    let keep = len * 5 / 8;
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)?;
+    Ok(keep)
+}
+
+/// Flip one payload byte near the end of the file so block CRC
+/// validation fails on read (silent media corruption).
+pub fn corrupt_crc(path: &Path) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let i = bytes.len().saturating_sub(10);
+    bytes[i] ^= 0xFF;
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{read_blocks, write_blocks, Block};
+    use std::path::PathBuf;
+
+    fn tmp_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hacc-inject-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ckpt_00000000.gio")
+    }
+
+    fn sample_blocks() -> Vec<Block> {
+        vec![
+            Block::from_f64("x", &[1.0, 2.0, 3.0]),
+            Block::from_u64("id", &[0, 1, 2]),
+        ]
+    }
+
+    #[test]
+    fn torn_file_fails_to_read() {
+        let path = tmp_file("tear");
+        write_blocks(&path, &sample_blocks()).unwrap();
+        assert!(read_blocks(&path).is_ok());
+        let full = std::fs::metadata(&path).unwrap().len();
+        let kept = tear_file(&path).unwrap();
+        assert!(kept < full);
+        assert!(read_blocks(&path).is_err(), "torn file must not validate");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn crc_flipped_file_fails_to_read() {
+        let path = tmp_file("crc");
+        write_blocks(&path, &sample_blocks()).unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        corrupt_crc(&path).unwrap();
+        // Same length — the corruption is silent at the fs level…
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        // …but the format layer's CRC catches it.
+        assert!(read_blocks(&path).is_err(), "flipped byte must not validate");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -20,11 +20,14 @@
 //! * [`device`] — NVMe and PFS bandwidth models (variability included),
 //! * [`tiers`] — the tiered writer with background bleed and pruning,
 //! * [`faults`] — exponential-MTTI fault injection and the
-//!   checkpoint-cadence trade-off, plus restart-from-latest-valid.
+//!   checkpoint-cadence trade-off, plus restart-from-latest-valid,
+//! * [`inject`] — deterministic storage-fault primitives (torn writes,
+//!   CRC flips, NVMe retries) driven by planned `hacc_fault` probes.
 
 pub mod device;
 pub mod faults;
 pub mod format;
+pub mod inject;
 pub mod tiers;
 
 pub use device::{NvmeModel, PfsModel};

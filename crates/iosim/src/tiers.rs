@@ -5,11 +5,14 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use hacc_fault::FaultProbe;
 use hacc_rt::channel::{unbounded, Sender};
 use hacc_rt::sync::Mutex;
+use hacc_telem::FaultKind;
 
 use crate::device::{NvmeModel, PfsModel};
 use crate::format::{read_blocks, write_blocks, Block, FormatError};
+use crate::inject;
 
 /// Tiered-writer configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +82,9 @@ pub struct IoStats {
     pub bytes_bled: u64,
     /// Files pruned from the PFS.
     pub files_pruned: u64,
+    /// Storage faults suffered (injected NVMe errors, torn writes, CRC
+    /// corruptions).
+    pub faults: u64,
     /// Per-step records.
     pub per_step: Vec<StepIoRecord>,
 }
@@ -95,8 +101,7 @@ impl IoStats {
     }
 
     /// Telemetry view: per-tier byte/file counters for the unified
-    /// observability layer (`hacc_telem`). Faults are injected by the
-    /// separate fault harness and start at zero here.
+    /// observability layer (`hacc_telem`).
     pub fn to_telem(&self) -> hacc_telem::IoCounters {
         hacc_telem::IoCounters {
             nvme_bytes: self.bytes_local,
@@ -105,7 +110,7 @@ impl IoStats {
             files_bled: self.files_bled,
             files_pruned: self.files_pruned,
             stalls: self.stalls,
-            faults: 0,
+            faults: self.faults,
         }
     }
 }
@@ -131,6 +136,8 @@ pub struct TieredWriter {
     now_s: f64,
     /// Modeled time at which the bleeder becomes idle.
     bleed_free_at_s: f64,
+    /// Optional fault probe: planned storage faults fire through here.
+    probe: Option<FaultProbe>,
 }
 
 impl TieredWriter {
@@ -178,7 +185,17 @@ impl TieredWriter {
             stats,
             now_s: 0.0,
             bleed_free_at_s: 0.0,
+            probe: None,
         })
+    }
+
+    /// Attach a fault probe. Subsequent checkpoint writes consult the
+    /// probe's plan for storage faults: transient NVMe errors (retried
+    /// in place after a modeled backoff), torn writes, and silent CRC
+    /// corruption (both caught later by restart validation). With no
+    /// probe armed the write path is byte-for-byte the pre-fault one.
+    pub fn arm_faults(&mut self, probe: FaultProbe) {
+        self.probe = Some(probe);
     }
 
     /// Checkpoint filename for a step.
@@ -219,7 +236,31 @@ impl TieredWriter {
         let machine_bytes = bytes * self.cfg.n_nodes as u64;
 
         // Blocking sync phase on the NVMe.
-        let sync_t = self.cfg.nvme.write_time_s(bytes, slowdown);
+        let mut sync_t = self.cfg.nvme.write_time_s(bytes, slowdown);
+
+        if let Some(probe) = self.probe.clone() {
+            if probe.fire(FaultKind::NvmeErr) {
+                // Transient device error: the controller resets and the
+                // write retries in full. The data on disk is fine; only
+                // the modeled blocking time pays.
+                sync_t += inject::NVME_RETRY_BACKOFF_S
+                    + self.cfg.nvme.write_time_s(bytes, slowdown);
+                self.stats.lock().faults += 1;
+                probe.recovered(FaultKind::NvmeErr);
+            }
+            if probe.fire(FaultKind::CkptTorn) {
+                // Torn write: the file lands truncated and will fail
+                // validation at restart (which must skip it).
+                inject::tear_file(&local_path)?;
+                self.stats.lock().faults += 1;
+            }
+            if probe.fire(FaultKind::CkptCrc) {
+                // Silent media corruption: same length, flipped byte;
+                // only the CRC check at restart can catch it.
+                inject::corrupt_crc(&local_path)?;
+                self.stats.lock().faults += 1;
+            }
+        }
         // If the bleeder is still busy past the point where local capacity
         // would be exceeded (one full checkpoint of headroom), stall.
         let mut blocking = sync_t;
@@ -388,6 +429,29 @@ impl TieredWriter {
             }
         }
         None
+    }
+
+    /// Steps of every checkpoint on the PFS that passes CRC validation,
+    /// ascending. This is what the supervisor intersects across ranks to
+    /// find a globally consistent rollback target.
+    pub fn valid_checkpoint_steps(pfs_dir: &Path) -> Vec<u64> {
+        let mut steps: Vec<u64> = std::fs::read_dir(pfs_dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                let step = Self::parse_step(&name)?;
+                read_blocks(&e.path()).ok().map(|_| step)
+            })
+            .collect();
+        steps.sort_unstable();
+        steps
+    }
+
+    /// Load the checkpoint at exactly `step`, validating CRC.
+    pub fn load_checkpoint_at(pfs_dir: &Path, step: u64) -> Option<Vec<Block>> {
+        read_blocks(&pfs_dir.join(Self::checkpoint_name(step))).ok()
     }
 }
 
@@ -593,6 +657,90 @@ mod tests {
             })
             .count();
         assert_eq!(ckpts, 2);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    fn armed_writer(cfg: TieredConfig, spec: &str, steps: u64) -> TieredWriter {
+        let plan = hacc_fault::FaultPlan::parse(spec, 0, steps, 1).unwrap();
+        let state = std::sync::Arc::new(hacc_fault::FaultState::new(plan, 1));
+        let mut w = TieredWriter::new(cfg).unwrap();
+        w.arm_faults(FaultProbe::new(state, 0));
+        w
+    }
+
+    #[test]
+    fn injected_crc_fault_is_skipped_by_restart() {
+        let base = unique_base("inj-crc");
+        let mut cfg = TieredConfig::frontier(&base);
+        cfg.window = 16; // keep everything: this test is about CRC skip
+        let pfs_dir = cfg.pfs_dir.clone();
+        let mut w = armed_writer(cfg, "ckpt-crc@2:0", 3);
+        for step in 0..3u64 {
+            w.probe.as_ref().unwrap().set_step(step);
+            let blocks = vec![Block::from_u64("step", &[step])];
+            w.write_checkpoint(step, &blocks, 0.0, 1.0).unwrap();
+            w.advance_time(600.0);
+        }
+        let stats = w.finish();
+        assert_eq!(stats.faults, 1);
+        // The newest checkpoint (step 2) is silently corrupt; restart
+        // must fall back to step 1.
+        let (step, blocks) = TieredWriter::load_latest_valid(&pfs_dir).unwrap();
+        assert_eq!(step, 1);
+        assert_eq!(blocks[0].as_u64(), vec![1]);
+        assert_eq!(TieredWriter::valid_checkpoint_steps(&pfs_dir), vec![0, 1]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn injected_torn_write_is_skipped_by_restart() {
+        let base = unique_base("inj-torn");
+        let cfg = TieredConfig::frontier(&base);
+        let pfs_dir = cfg.pfs_dir.clone();
+        let mut w = armed_writer(cfg, "ckpt-torn@1:0", 2);
+        for step in 0..2u64 {
+            w.probe.as_ref().unwrap().set_step(step);
+            let blocks = vec![Block::from_u64("step", &[step])];
+            w.write_checkpoint(step, &blocks, 0.0, 1.0).unwrap();
+            w.advance_time(600.0);
+        }
+        let _ = w.finish();
+        let (step, _) = TieredWriter::load_latest_valid(&pfs_dir).unwrap();
+        assert_eq!(step, 0, "torn step-1 file must be skipped");
+        assert!(TieredWriter::load_checkpoint_at(&pfs_dir, 1).is_none());
+        assert!(TieredWriter::load_checkpoint_at(&pfs_dir, 0).is_some());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn transient_nvme_error_retries_in_place() {
+        let base = unique_base("inj-nvme");
+        let cfg = TieredConfig::frontier(&base);
+        let pfs_dir = cfg.pfs_dir.clone();
+        // Identical unarmed writer for the cost comparison.
+        let clean_cfg = TieredConfig {
+            local_dir: base.join("nvme2"),
+            pfs_dir: base.join("pfs2"),
+            ..cfg.clone()
+        };
+        let mut w = armed_writer(cfg, "nvme-err@0:0", 1);
+        let probe = w.probe.clone().unwrap();
+        let mut clean = TieredWriter::new(clean_cfg).unwrap();
+        let blocks = payload(200);
+        let t_faulty = w.write_checkpoint(0, &blocks, 0.0, 1.0).unwrap();
+        let t_clean = clean.write_checkpoint(0, &blocks, 0.0, 1.0).unwrap();
+        assert!(
+            t_faulty > t_clean + crate::inject::NVME_RETRY_BACKOFF_S * 0.99,
+            "retry must cost modeled time: {t_faulty} vs {t_clean}"
+        );
+        let stats = w.finish();
+        let _ = clean.finish();
+        assert_eq!(stats.faults, 1);
+        assert_eq!(stats.to_telem().faults, 1);
+        assert_eq!(probe.counters().recovered(FaultKind::NvmeErr), 1);
+        // The data itself is intact: the retry succeeded.
+        let (step, _) = TieredWriter::load_latest_valid(&pfs_dir).unwrap();
+        assert_eq!(step, 0);
         let _ = std::fs::remove_dir_all(&base);
     }
 

@@ -4,8 +4,9 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 
+use hacc_fault::FaultProbe;
 use hacc_rt::channel::{unbounded, Receiver, Sender};
-use hacc_telem::{CollectiveKind, CommCounters};
+use hacc_telem::{CollectiveKind, CommCounters, FaultKind};
 
 /// Message tag, mirroring MPI tags. User tags must leave the high bit clear;
 /// tags with the high bit set are reserved for internal collectives.
@@ -21,10 +22,26 @@ const COLLECTIVE_BIT: Tag = 1 << 63;
 /// never make progress — the MPI_Abort analogue.
 const ABORT_TAG: Tag = COLLECTIVE_BIT | (1 << 62);
 
+/// Transport-level condition of an envelope, set by the fault harness.
+/// Marked envelopes are detected and discarded by the receiver before
+/// they can match a receive — mirroring sequence-number dedup and CRC
+/// drops in a real interconnect.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Marker {
+    /// A healthy message.
+    Normal,
+    /// The surplus copy of a duplicated message.
+    Dup,
+    /// A truncated message (its payload is garbage; a retransmission
+    /// follows).
+    Trunc,
+}
+
 struct Envelope {
     src: usize,
     tag: Tag,
     payload: Box<dyn Any + Send>,
+    marker: Marker,
 }
 
 /// The SPMD entry point: spawns one thread per rank and runs the same
@@ -65,6 +82,8 @@ impl World {
                         stash: VecDeque::new(),
                         epoch: 0,
                         counters: RefCell::new(CommCounters::default()),
+                        probe: None,
+                        delayed: RefCell::new(Vec::new()),
                     };
                     let result = std::panic::catch_unwind(
                         std::panic::AssertUnwindSafe(|| fref(&mut comm)),
@@ -81,6 +100,7 @@ impl World {
                                     src: comm.rank,
                                     tag: ABORT_TAG,
                                     payload: Box::new(()),
+                                    marker: Marker::Normal,
                                 });
                             }
                             std::panic::resume_unwind(cause);
@@ -114,6 +134,8 @@ pub struct Comm {
     stash: VecDeque<Envelope>,
     epoch: u64,
     counters: RefCell<CommCounters>,
+    probe: Option<FaultProbe>,
+    delayed: RefCell<Vec<(usize, Envelope)>>,
 }
 
 impl Comm {
@@ -129,6 +151,15 @@ impl Comm {
         self.size
     }
 
+    /// Attach a fault probe. Subsequent transport operations consult the
+    /// probe's plan for message-level faults: delayed delivery
+    /// (`comm-delay`), surplus duplicates (`comm-dup`), and truncated
+    /// frames followed by retransmission (`comm-trunc`). With no probe
+    /// armed the transport path is byte-for-byte the pre-fault one.
+    pub fn arm_faults(&mut self, probe: FaultProbe) {
+        self.probe = Some(probe);
+    }
+
     /// Asynchronous (buffered, non-blocking) send of `value` to rank `dst`.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
         assert!(tag & COLLECTIVE_BIT == 0, "tag high bit is reserved");
@@ -137,16 +168,73 @@ impl Comm {
 
     fn send_raw<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
         assert!(dst < self.size, "destination rank {dst} out of range");
+        self.flush_delayed();
         self.counters
             .borrow_mut()
             .record_send(std::mem::size_of::<T>() as u64);
-        self.txs[dst]
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                payload: Box::new(value),
-            })
-            .expect("receiver hung up");
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(value),
+            marker: Marker::Normal,
+        };
+        if let Some(probe) = &self.probe {
+            if probe.fire(FaultKind::CommDelay) {
+                // Hold the message; it is released — in original order —
+                // the next time this rank touches the transport. Holding
+                // never reorders messages that share a (src, tag) pair,
+                // which is the invariant receive matching relies on.
+                self.delayed.borrow_mut().push((dst, env));
+                return;
+            }
+            if probe.fire(FaultKind::CommTrunc) {
+                // The truncated frame arrives first and is discarded by
+                // the receiver's integrity check; the retransmission
+                // below carries the real payload.
+                self.deliver(dst, Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(()),
+                    marker: Marker::Trunc,
+                });
+            }
+            let dup = probe.fire(FaultKind::CommDup);
+            self.deliver(dst, env);
+            if dup {
+                // The surplus copy trails the real message and is dropped
+                // by the receiver's duplicate detection.
+                self.deliver(dst, Envelope {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(()),
+                    marker: Marker::Dup,
+                });
+            }
+            return;
+        }
+        self.deliver(dst, env);
+    }
+
+    fn deliver(&self, dst: usize, env: Envelope) {
+        self.txs[dst].send(env).expect("receiver hung up");
+    }
+
+    /// Release any held (delayed) messages, oldest first. Called on every
+    /// transport touch so a delayed message is never outstanding past the
+    /// rank's next send or receive — the step loop's per-step collectives
+    /// guarantee prompt release.
+    fn flush_delayed(&self) {
+        if self.delayed.borrow().is_empty() {
+            return;
+        }
+        let held: Vec<(usize, Envelope)> =
+            self.delayed.borrow_mut().drain(..).collect();
+        for (dst, env) in held {
+            self.deliver(dst, env);
+            if let Some(probe) = &self.probe {
+                probe.recovered(FaultKind::CommDelay);
+            }
+        }
     }
 
     /// Blocking receive of a message with the given source and tag.
@@ -160,6 +248,7 @@ impl Comm {
     }
 
     fn recv_raw<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        self.flush_delayed();
         self.counters.borrow_mut().record_recv();
         // First drain the stash.
         if let Some(pos) = self
@@ -184,6 +273,23 @@ impl Comm {
                      recv(src={src}, tag={tag})",
                     self.rank, env.src
                 );
+            }
+            // Marked (faulted) envelopes are dropped before they can
+            // match or stash: duplicate detection and integrity checks.
+            match env.marker {
+                Marker::Dup => {
+                    if let Some(probe) = &self.probe {
+                        probe.recovered(FaultKind::CommDup);
+                    }
+                    continue;
+                }
+                Marker::Trunc => {
+                    if let Some(probe) = &self.probe {
+                        probe.recovered(FaultKind::CommTrunc);
+                    }
+                    continue;
+                }
+                Marker::Normal => {}
             }
             if env.src == src && env.tag == tag {
                 return Self::downcast(env, src, tag);
@@ -588,6 +694,122 @@ mod tests {
         // counters on every rank.
         let again = World::run(3, |c| traffic(c));
         assert_eq!(out, again);
+    }
+
+    fn armed_world<T, F>(n: usize, spec: &str, steps: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        use std::sync::Arc;
+        let plan = hacc_fault::FaultPlan::parse(spec, 0, steps, n).unwrap();
+        let state = Arc::new(hacc_fault::FaultState::new(plan, n));
+        World::run(n, move |c| {
+            c.arm_faults(hacc_fault::FaultProbe::new(Arc::clone(&state), c.rank()));
+            f(c)
+        })
+    }
+
+    #[test]
+    fn duplicated_message_is_delivered_exactly_once() {
+        use std::sync::Arc;
+        let plan = hacc_fault::FaultPlan::parse("comm-dup@0:0", 0, 1, 2).unwrap();
+        let state = Arc::new(hacc_fault::FaultState::new(plan, 2));
+        let st = Arc::clone(&state);
+        let out = World::run(2, move |c| {
+            c.arm_faults(hacc_fault::FaultProbe::new(Arc::clone(&st), c.rank()));
+            if c.rank() == 0 {
+                c.send(1, 4, 7u64); // duplicated on the wire
+                c.send(1, 4, 8u64);
+                0
+            } else {
+                let a = c.recv::<u64>(0, 4);
+                // If the surplus copy could match a receive, `b` would be
+                // the duplicate of 7 instead of 8.
+                let b = c.recv::<u64>(0, 4);
+                a * 10 + b
+            }
+        });
+        assert_eq!(out[1], 78, "payloads arrive once, in order");
+        assert_eq!(state.counters_for(0).injected(FaultKind::CommDup), 1);
+        assert_eq!(state.counters_for(1).recovered(FaultKind::CommDup), 1);
+    }
+
+    #[test]
+    fn truncated_message_is_retransmitted() {
+        use std::sync::Arc;
+        let plan = hacc_fault::FaultPlan::parse("comm-trunc@0:1", 0, 1, 2).unwrap();
+        let state = Arc::new(hacc_fault::FaultState::new(plan, 2));
+        let st = Arc::clone(&state);
+        let out = World::run(2, move |c| {
+            c.arm_faults(hacc_fault::FaultProbe::new(Arc::clone(&st), c.rank()));
+            if c.rank() == 1 {
+                c.send(0, 9, vec![1.5f64, 2.5]);
+                Vec::new()
+            } else {
+                c.recv::<Vec<f64>>(1, 9)
+            }
+        });
+        assert_eq!(out[0], vec![1.5, 2.5], "retransmission carries payload");
+        assert_eq!(state.counters_for(1).injected(FaultKind::CommTrunc), 1);
+        assert_eq!(state.counters_for(0).recovered(FaultKind::CommTrunc), 1);
+    }
+
+    #[test]
+    fn delayed_message_is_released_in_order() {
+        use std::sync::Arc;
+        let plan = hacc_fault::FaultPlan::parse("comm-delay@0:0", 0, 1, 2).unwrap();
+        let state = Arc::new(hacc_fault::FaultState::new(plan, 2));
+        let st = Arc::clone(&state);
+        let out = World::run(2, move |c| {
+            c.arm_faults(hacc_fault::FaultProbe::new(Arc::clone(&st), c.rank()));
+            if c.rank() == 0 {
+                c.send(1, 2, 10u64); // held by the delay fault
+                c.send(1, 2, 20u64); // flushes the held message first
+                0
+            } else {
+                let a = c.recv::<u64>(0, 2);
+                let b = c.recv::<u64>(0, 2);
+                a * 100 + b
+            }
+        });
+        assert_eq!(out[1], 1020, "FIFO order survives the delay");
+        assert_eq!(state.counters_for(0).injected(FaultKind::CommDelay), 1);
+        assert_eq!(state.counters_for(0).recovered(FaultKind::CommDelay), 1);
+    }
+
+    #[test]
+    fn faults_inside_collectives_are_transparent() {
+        // The fault hooks live in send_raw/recv_raw, so collective-internal
+        // traffic (all_to_allv is the production hot path) is subject to
+        // them too — and must still produce correct results.
+        let out = armed_world(3, "comm-dup@0:1,comm-trunc@0:2,comm-delay@0:0", 1, |c| {
+            let sends: Vec<Vec<usize>> =
+                (0..3).map(|d| vec![c.rank() * 100 + d]).collect();
+            let recvd = c.all_to_allv(sends);
+            let sum = c.all_reduce_sum_u64(c.rank() as u64);
+            (recvd, sum)
+        });
+        for (r, (recvd, sum)) in out.iter().enumerate() {
+            assert_eq!(*sum, 3);
+            for (s, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf, &vec![s * 100 + r]);
+            }
+        }
+    }
+
+    #[test]
+    fn unarmed_comm_has_no_fault_overhead_path() {
+        // A world with no probe must behave exactly as before this
+        // feature existed: identical counters across identical runs.
+        let run = || {
+            World::run(2, |c| {
+                c.send((c.rank() + 1) % 2, 1, c.rank() as u64);
+                let v = c.recv::<u64>((c.rank() + 1) % 2, 1);
+                (v, c.telemetry())
+            })
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -435,6 +435,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn int_range_generates_in_bounds() {

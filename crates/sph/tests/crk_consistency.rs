@@ -1,0 +1,146 @@
+//! Reproducing-kernel consistency: the defining property of CRKSPH
+//! (Frontiere, Raskin & Owen 2017) is *exact* reproduction of constant
+//! and linear fields — to machine precision, independent of how
+//! disordered the neighbor set is. Standard SPH loses this the moment
+//! particles leave the lattice; the corrections must restore it both on
+//! a glass (relaxed, amorphous, the generic late-time SPH state) and on
+//! a randomly perturbed lattice.
+
+use hacc_rt::rand::{self, Rng, SeedableRng};
+use hacc_sph::crk::{corrected_w, solve_corrections, Moments};
+use hacc_sph::kernel::{CubicSpline, SphKernel};
+
+const N: usize = 8; // particles per dimension, unit mean spacing
+
+/// Jittered lattice: each particle displaced uniformly by up to `amp`.
+fn perturbed_lattice(amp: f64, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(N * N * N);
+    for x in 0..N {
+        for y in 0..N {
+            for z in 0..N {
+                pts.push([
+                    x as f64 + rng.gen_range(-amp..amp),
+                    y as f64 + rng.gen_range(-amp..amp),
+                    z as f64 + rng.gen_range(-amp..amp),
+                ]);
+            }
+        }
+    }
+    pts
+}
+
+/// Glass-like arrangement: random positions relaxed by pairwise
+/// short-range repulsion until spacing is roughly uniform but with no
+/// lattice order left. Deterministic in the seed.
+fn glass(seed: u64) -> Vec<[f64; 3]> {
+    let side = N as f64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pts: Vec<[f64; 3]> = (0..N * N * N)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..side),
+                rng.gen_range(0.0..side),
+                rng.gen_range(0.0..side),
+            ]
+        })
+        .collect();
+    let rc = 1.2; // repulsion range ~ mean spacing
+    for _ in 0..40 {
+        let mut push = vec![[0.0f64; 3]; pts.len()];
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let dr = [
+                    pts[i][0] - pts[j][0],
+                    pts[i][1] - pts[j][1],
+                    pts[i][2] - pts[j][2],
+                ];
+                let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+                if r2 >= rc * rc || r2 == 0.0 {
+                    continue;
+                }
+                let r = r2.sqrt();
+                let f = 0.05 * (rc - r) / (rc * r);
+                for d in 0..3 {
+                    push[i][d] += f * dr[d];
+                    push[j][d] -= f * dr[d];
+                }
+            }
+        }
+        for (p, dp) in pts.iter_mut().zip(&push) {
+            for d in 0..3 {
+                p[d] = (p[d] + dp[d]).clamp(0.0, side);
+            }
+        }
+    }
+    pts
+}
+
+/// CRK-interpolate `field` at the particle nearest the box center and
+/// return (corrected interpolant, raw SPH interpolant, exact value).
+fn interpolate(pts: &[[f64; 3]], field: &dyn Fn(&[f64; 3]) -> f64) -> (f64, f64, f64) {
+    let k = CubicSpline;
+    let h = 1.3;
+    let center = [N as f64 / 2.0; 3];
+    let i = (0..pts.len())
+        .min_by(|&a, &b| {
+            let d = |p: &[f64; 3]| {
+                (0..3).map(|d| (p[d] - center[d]).powi(2)).sum::<f64>()
+            };
+            d(&pts[a]).total_cmp(&d(&pts[b]))
+        })
+        .unwrap();
+    let ri = pts[i];
+    let mut mom = Moments::default();
+    for pj in pts {
+        let dr = [ri[0] - pj[0], ri[1] - pj[1], ri[2] - pj[2]];
+        let r = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).sqrt();
+        mom.accumulate(1.0, k.w(r, h), &dr);
+    }
+    let c = solve_corrections(&mom);
+    let (mut interp, mut raw) = (0.0, 0.0);
+    for pj in pts {
+        let dr = [ri[0] - pj[0], ri[1] - pj[1], ri[2] - pj[2]];
+        let r = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).sqrt();
+        let w = k.w(r, h);
+        interp += corrected_w(&c, w, &dr) * field(pj);
+        raw += w * field(pj);
+    }
+    (interp, raw, field(&ri))
+}
+
+fn neighbor_sets() -> Vec<(&'static str, Vec<[f64; 3]>)> {
+    vec![
+        ("glass", glass(2024)),
+        ("perturbed lattice", perturbed_lattice(0.25, 99)),
+    ]
+}
+
+#[test]
+fn constant_field_is_reproduced_to_machine_precision() {
+    for (name, pts) in neighbor_sets() {
+        let (interp, _, exact) = interpolate(&pts, &|_| 7.25);
+        assert!(
+            (interp - exact).abs() < 1e-12 * exact.abs(),
+            "{name}: constant field {interp} != {exact}"
+        );
+    }
+}
+
+#[test]
+fn linear_field_is_reproduced_to_machine_precision() {
+    let field = |p: &[f64; 3]| 3.0 + 2.0 * p[0] - 1.5 * p[1] + 0.7 * p[2];
+    for (name, pts) in neighbor_sets() {
+        let (interp, raw, exact) = interpolate(&pts, &field);
+        assert!(
+            (interp - exact).abs() < 1e-10 * exact.abs().max(1.0),
+            "{name}: linear field {interp} != {exact}"
+        );
+        // The disorder is real: uncorrected SPH misses by many orders
+        // of magnitude more than the corrected interpolant.
+        assert!(
+            (raw - exact).abs() > 1e-4,
+            "{name}: raw SPH accidentally exact — neighbor set too regular"
+        );
+    }
+}

@@ -139,6 +139,118 @@ impl IoCounters {
     }
 }
 
+/// The fault-injection sites of the chaos harness (`hacc-fault`), in
+/// report order. Each site names one class of injected failure threaded
+/// through the real execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FaultKind {
+    /// A rank panics mid-step (fatal; recovered by supervisor rollback).
+    RankPanic = 0,
+    /// A point-to-point message is held back and delivered late.
+    CommDelay = 1,
+    /// A point-to-point message arrives twice (receiver deduplicates).
+    CommDup = 2,
+    /// A message arrives truncated (receiver drops it; sender retransmits).
+    CommTrunc = 3,
+    /// A checkpoint write is torn mid-file (detected by CRC on resume).
+    CkptTorn = 4,
+    /// A checkpoint lands with a corrupted CRC (detected on resume).
+    CkptCrc = 5,
+    /// A transient NVMe write error (retried with modeled backoff).
+    NvmeErr = 6,
+    /// A GPU kernel launch fails (relaunched; failed work discarded).
+    GpuLaunch = 7,
+}
+
+/// Every fault kind, for iteration.
+pub const FAULT_KINDS: [FaultKind; 8] = [
+    FaultKind::RankPanic,
+    FaultKind::CommDelay,
+    FaultKind::CommDup,
+    FaultKind::CommTrunc,
+    FaultKind::CkptTorn,
+    FaultKind::CkptCrc,
+    FaultKind::NvmeErr,
+    FaultKind::GpuLaunch,
+];
+
+impl FaultKind {
+    /// Display name (also the row label in the golden report).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::RankPanic => "rank_panic",
+            FaultKind::CommDelay => "comm_delay",
+            FaultKind::CommDup => "comm_dup",
+            FaultKind::CommTrunc => "comm_trunc",
+            FaultKind::CkptTorn => "ckpt_torn",
+            FaultKind::CkptCrc => "ckpt_crc",
+            FaultKind::NvmeErr => "nvme_err",
+            FaultKind::GpuLaunch => "gpu_launch",
+        }
+    }
+
+    /// True for faults the run survives in place (retry/dedup/late
+    /// delivery); false for fatal faults that require a rollback to a
+    /// valid checkpoint.
+    pub fn is_transient(&self) -> bool {
+        !matches!(
+            self,
+            FaultKind::RankPanic | FaultKind::CkptTorn | FaultKind::CkptCrc
+        )
+    }
+}
+
+/// Per-rank fault-injection counters: how many faults of each kind were
+/// injected, and how many were recovered *in place* (retry, dedup, late
+/// delivery). Fatal faults (`rank_panic`, `ckpt_torn`, `ckpt_crc`) are
+/// recovered by supervisor rollback instead, which the report records as
+/// `rollbacks` in its `[meta]` section — their in-place count stays 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Injections per kind (indexed by [`FaultKind`]).
+    pub injected: [u64; 8],
+    /// In-place recoveries per kind.
+    pub recovered: [u64; 8],
+}
+
+impl FaultCounters {
+    /// Record one injected fault.
+    pub fn record_injected(&mut self, kind: FaultKind) {
+        self.injected[kind as usize] += 1;
+    }
+
+    /// Record one in-place recovery.
+    pub fn record_recovered(&mut self, kind: FaultKind) {
+        self.recovered[kind as usize] += 1;
+    }
+
+    /// Injections of one kind.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind as usize]
+    }
+
+    /// In-place recoveries of one kind.
+    pub fn recovered(&self, kind: FaultKind) -> u64 {
+        self.recovered[kind as usize]
+    }
+
+    /// Total injections across kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Elementwise merge (e.g. across ranks).
+    pub fn merge(&mut self, o: &FaultCounters) {
+        for (a, b) in self.injected.iter_mut().zip(&o.injected) {
+            *a += b;
+        }
+        for (a, b) in self.recovered.iter_mut().zip(&o.recovered) {
+            *a += b;
+        }
+    }
+}
+
 /// One per-kernel GPU profile row (launches/FLOPs/bytes via the
 /// `hacc_gpusim::ProfileTable`), already merged across ranks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +298,41 @@ mod tests {
         let names: std::collections::BTreeSet<&str> =
             COLLECTIVE_KINDS.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), COLLECTIVE_KINDS.len());
+    }
+
+    #[test]
+    fn fault_kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            FAULT_KINDS.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FAULT_KINDS.len());
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_merge() {
+        let mut a = FaultCounters::default();
+        a.record_injected(FaultKind::CommDup);
+        a.record_injected(FaultKind::CommDup);
+        a.record_recovered(FaultKind::CommDup);
+        a.record_injected(FaultKind::RankPanic);
+        assert_eq!(a.injected(FaultKind::CommDup), 2);
+        assert_eq!(a.recovered(FaultKind::CommDup), 1);
+        assert_eq!(a.total_injected(), 3);
+
+        let mut b = FaultCounters::default();
+        b.record_injected(FaultKind::RankPanic);
+        b.merge(&a);
+        assert_eq!(b.injected(FaultKind::RankPanic), 2);
+        assert_eq!(b.recovered(FaultKind::CommDup), 1);
+    }
+
+    #[test]
+    fn fatal_faults_are_not_transient() {
+        assert!(!FaultKind::RankPanic.is_transient());
+        assert!(!FaultKind::CkptTorn.is_transient());
+        assert!(!FaultKind::CkptCrc.is_transient());
+        assert!(FaultKind::CommDelay.is_transient());
+        assert!(FaultKind::NvmeErr.is_transient());
+        assert!(FaultKind::GpuLaunch.is_transient());
     }
 
     #[test]

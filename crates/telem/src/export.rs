@@ -7,7 +7,9 @@
 //! a non-golden wall-clock appendix. Regression tests and the
 //! `scripts/verify.sh` lint compare golden regions byte-for-byte.
 
-use crate::counters::{CommCounters, GpuKernelRow, IoCounters, COLLECTIVE_KINDS};
+use crate::counters::{
+    CommCounters, FaultCounters, GpuKernelRow, IoCounters, COLLECTIVE_KINDS, FAULT_KINDS,
+};
 use crate::ledger::ConservationLedger;
 use crate::span::Span;
 use std::fmt::Write as _;
@@ -28,6 +30,9 @@ pub struct RankTelemetry {
     pub comm: CommCounters,
     /// Tiered-I/O counters.
     pub io: IoCounters,
+    /// Fault-injection counters (all zero unless the chaos harness was
+    /// armed; accumulated across supervisor attempts).
+    pub faults: FaultCounters,
 }
 
 /// The assembled whole-run telemetry (all ranks).
@@ -42,6 +47,11 @@ pub struct TelemetryReport {
     pub ledger: ConservationLedger,
     /// Per-phase wall seconds summed over ranks — **non-golden**.
     pub wall_phases: Vec<(String, f64)>,
+    /// Supervisor attempts the run took (1 = no fault required a
+    /// restart). Golden: the attempt sequence is seed-deterministic.
+    pub attempts: u64,
+    /// Rollbacks to a valid checkpoint the supervisor performed.
+    pub rollbacks: u64,
 }
 
 /// Escape a string for a JSON literal (names are ASCII identifiers, but
@@ -109,6 +119,8 @@ impl TelemetryReport {
         let _ = writeln!(w, "[meta]");
         let _ = writeln!(w, "ranks = {}", self.ranks.len());
         let _ = writeln!(w, "ledger_steps = {}", self.ledger.len());
+        let _ = writeln!(w, "attempts = {}", self.attempts);
+        let _ = writeln!(w, "rollbacks = {}", self.rollbacks);
         let _ = writeln!(w);
 
         let _ = writeln!(
@@ -152,6 +164,20 @@ impl TelemetryReport {
             let _ = writeln!(w, "files_pruned = {}", rt.io.files_pruned);
             let _ = writeln!(w, "stalls = {}", rt.io.stalls);
             let _ = writeln!(w, "faults = {}", rt.io.faults);
+            let _ = writeln!(w);
+        }
+
+        for rt in &self.ranks {
+            let _ = writeln!(w, "[faults rank {}] kind injected recovered", rt.rank);
+            for k in FAULT_KINDS {
+                let _ = writeln!(
+                    w,
+                    "{} {} {}",
+                    k.name(),
+                    rt.faults.injected(k),
+                    rt.faults.recovered(k)
+                );
+            }
             let _ = writeln!(w);
         }
 
@@ -241,6 +267,12 @@ mod tests {
                 spans: tr.into_spans(),
                 comm,
                 io: IoCounters::default(),
+                faults: {
+                    let mut f = FaultCounters::default();
+                    f.record_injected(crate::FaultKind::CommDup);
+                    f.record_recovered(crate::FaultKind::CommDup);
+                    f
+                },
             }],
             gpu: vec![GpuKernelRow {
                 name: "crk_force".into(),
@@ -251,7 +283,20 @@ mod tests {
             }],
             ledger,
             wall_phases: vec![("misc".into(), if sleep { 0.5 } else { 0.25 })],
+            attempts: 1,
+            rollbacks: 0,
         }
+    }
+
+    #[test]
+    fn fault_rows_render_in_golden_region() {
+        let txt = sample_report(false).text_report();
+        let golden = golden_section(&txt);
+        assert!(golden.contains("[faults rank 0] kind injected recovered"));
+        assert!(golden.contains("comm_dup 1 1"));
+        assert!(golden.contains("rank_panic 0 0"));
+        assert!(golden.contains("attempts = 1"));
+        assert!(golden.contains("rollbacks = 0"));
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub mod ledger;
 pub mod span;
 
 pub use counters::{
-    CollectiveKind, CommCounters, GpuKernelRow, IoCounters, COLLECTIVE_KINDS,
+    CollectiveKind, CommCounters, FaultCounters, FaultKind, GpuKernelRow, IoCounters,
+    COLLECTIVE_KINDS, FAULT_KINDS,
 };
 pub use export::{golden_section, RankTelemetry, TelemetryReport, GOLDEN_BEGIN, GOLDEN_END};
 pub use ledger::{ConservationLedger, LedgerRecord};

@@ -82,4 +82,62 @@ if grep -niE 'wall|elapsed|seconds|[0-9]s\b' \
 fi
 echo "ok: telemetry golden sections are byte-identical and wall-free"
 
+echo "== tier 3: chaos gate — supervised recovery is bitwise-exact =="
+# For each rank count, run an uninterrupted reference, then the same
+# seed under several fault plans. Every recovered run must report the
+# reference's exact final state hash, and chaos telemetry itself must
+# be deterministic (same seed + same spec -> same golden region).
+chaos_specs=(
+    "panic@2:1,ckpt-crc@1:0"
+    "panic@1:0,ckpt-torn@0:1"
+    "comm-delay@1:0,comm-dup@1:1,comm-trunc@2:0,nvme-err@1:0,gpu-launch@2:1"
+)
+for ranks in 1 2; do
+    ref_dir="$tdir/chaos-ref-r$ranks"
+    ./target/release/frontier-sim run \
+        --np 8 --ranks "$ranks" --steps 3 --physics gravity --seed 4242 \
+        --out "$ref_dir" > "$ref_dir.log"
+    ref_hash=$(grep -o 'state hash: [0-9a-f]*' "$ref_dir.log")
+    [ -n "$ref_hash" ] || {
+        echo "error: reference run printed no state hash" >&2
+        exit 1
+    }
+    for i in "${!chaos_specs[@]}"; do
+        spec="${chaos_specs[$i]}"
+        # Rank-count-specific specs: clamp rank indices for --ranks 1.
+        [ "$ranks" -eq 1 ] && spec="${spec//:1/:0}"
+        run_dir="$tdir/chaos-r$ranks-$i"
+        ./target/release/frontier-sim run \
+            --np 8 --ranks "$ranks" --steps 3 --physics gravity --seed 4242 \
+            --out "$run_dir" --chaos "$spec" \
+            > "$run_dir.log" 2> /dev/null
+        hash=$(grep -o 'state hash: [0-9a-f]*' "$run_dir.log")
+        if [ "$hash" != "$ref_hash" ]; then
+            echo "error: chaos spec '$spec' on $ranks rank(s) diverged:" >&2
+            echo "  reference: $ref_hash" >&2
+            echo "  recovered: ${hash:-<missing>}" >&2
+            exit 1
+        fi
+    done
+done
+# Chaos golden determinism: two identical faulted runs, identical goldens.
+for run in a b; do
+    ./target/release/frontier-sim run \
+        --np 8 --ranks 2 --steps 3 --physics gravity --seed 4242 \
+        --out "$tdir/chaos-det-$run" --telemetry "$tdir/chaos-telem-$run" \
+        --chaos "panic@2:1,ckpt-crc@1:0" \
+        > /dev/null 2>&1
+done
+golden "$tdir/chaos-telem-a/report.txt" > "$tdir/chaos-golden-a.txt"
+golden "$tdir/chaos-telem-b/report.txt" > "$tdir/chaos-golden-b.txt"
+grep -q '\[faults rank' "$tdir/chaos-golden-a.txt" || {
+    echo "error: chaos golden region carries no fault ledger" >&2
+    exit 1
+}
+cmp "$tdir/chaos-golden-a.txt" "$tdir/chaos-golden-b.txt" || {
+    echo "error: chaos telemetry goldens differ between identical runs" >&2
+    exit 1
+}
+echo "ok: all fault plans recovered to the reference state hash"
+
 echo "verify.sh: all checks passed"

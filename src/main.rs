@@ -3,14 +3,14 @@
 //! ```text
 //! frontier-sim run   [--np N] [--ranks R] [--steps S] [--physics hydro|adiabatic|gravity]
 //!                    [--zi Z] [--zf Z] [--seed S] [--out DIR] [--flat] [--resume]
-//!                    [--telemetry DIR]
+//!                    [--telemetry DIR] [--chaos SPEC]
 //! frontier-sim scaling [--ranks-max R]
 //! frontier-sim info
 //! ```
 
 use frontier_sim::core::scaling::{strong_scaling, weak_scaling};
 use frontier_sim::core::timers::PHASES;
-use frontier_sim::core::{resume_simulation, run_simulation, Physics, SimConfig};
+use frontier_sim::core::{resume_simulation, run_supervised, Physics, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +34,10 @@ fn main() {
                  \x20 --flat          synchronized deepest-rung stepping\n\
                  \x20 --resume        resume from the newest checkpoint in --out\n\
                  \x20 --telemetry DIR write trace.json + report.txt to DIR\n\
+                 \x20 --chaos SPEC    inject faults and supervise recovery;\n\
+                 \x20                 SPEC = site@step:rank,... | auto@N with sites\n\
+                 \x20                 panic comm-delay comm-dup comm-trunc ckpt-torn\n\
+                 \x20                 ckpt-crc nvme-err gpu-launch\n\
                  \n\
                  scaling options:\n\
                  \x20 --ranks-max R   largest rank count in the sweep (default 4)"
@@ -90,6 +94,10 @@ fn cmd_run(args: &[String]) {
     if !out.is_empty() {
         cfg.io_dir = Some(out.clone().into());
     }
+    let chaos: String = parse_opt(args, "--chaos", String::new());
+    if !chaos.is_empty() {
+        cfg.chaos = Some(chaos);
+    }
 
     println!(
         "frontier-sim: {} particles, {:.0} Mpc/h box, {} PM steps, z = {:.1} -> {:.1}, {} ranks",
@@ -108,7 +116,9 @@ fn cmd_run(args: &[String]) {
         }
         resume_simulation(&cfg, ranks)
     } else {
-        run_simulation(&cfg, ranks)
+        // Supervised path; with no --chaos spec this is exactly
+        // run_simulation.
+        run_supervised(&cfg, ranks)
     };
     let wall = t0.elapsed().as_secs_f64();
 
@@ -128,6 +138,19 @@ fn cmd_run(args: &[String]) {
     }
 
     println!("\ncompleted {} step(s) in {wall:.1} s", report.steps.len());
+    println!(
+        "state hash: {:016x} (attempts {}, rollbacks {})",
+        report.final_state_hash, report.attempts, report.rollbacks
+    );
+    if report.rollbacks > 0 {
+        let injected: u64 = report
+            .telemetry
+            .ranks
+            .iter()
+            .map(|r| r.faults.total_injected())
+            .sum();
+        println!("supervisor: recovered from {injected} injected fault(s)");
+    }
     println!("\nphase breakdown:");
     for (phase, frac) in report.timers.fractions() {
         let name = PHASES

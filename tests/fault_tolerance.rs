@@ -8,7 +8,37 @@
 
 use frontier_sim::core::{resume_simulation, run_simulation, Physics, SimConfig};
 
-fn cfg(tag: &str, steps: usize) -> (SimConfig, std::path::PathBuf) {
+/// Scratch directory that cleans itself up on success but survives a
+/// failing test, so the checkpoint files that triggered the failure can
+/// be inspected.
+struct TempRunDir(std::path::PathBuf);
+
+impl TempRunDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "frontier-ft-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempRunDir {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("test failed; run artifacts kept at {}", self.0.display());
+        } else {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+fn cfg(tag: &str, steps: usize) -> (SimConfig, TempRunDir) {
     let mut c = SimConfig::small(8);
     c.physics = Physics::GravityOnly; // no stochastic subgrid: exact compare
     c.pm_steps = steps;
@@ -17,12 +47,8 @@ fn cfg(tag: &str, steps: usize) -> (SimConfig, std::path::PathBuf) {
     c.checkpoint_every = 1;
     c.checkpoint_window = 16; // keep everything: the test prunes by hand
     c.seed = 1234;
-    let dir = std::env::temp_dir().join(format!(
-        "frontier-ft-{tag}-{}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    c.io_dir = Some(dir.clone());
+    let dir = TempRunDir::new(tag);
+    c.io_dir = Some(dir.path().to_path_buf());
     (c, dir)
 }
 
@@ -30,7 +56,7 @@ fn cfg(tag: &str, steps: usize) -> (SimConfig, std::path::PathBuf) {
 fn resumed_run_matches_uninterrupted() {
     let ranks = 2;
     // Reference: 4 steps straight through (in its own directory).
-    let (cfg_ref, dir_ref) = cfg("ref", 4);
+    let (cfg_ref, _dir_ref) = cfg("ref", 4);
     let reference = run_simulation(&cfg_ref, ranks);
 
     // Interrupted: an identical 4-step run whose post-crash checkpoints
@@ -39,7 +65,7 @@ fn resumed_run_matches_uninterrupted() {
     let (cfg_crash, dir_crash) = cfg("crash", 4);
     run_simulation(&cfg_crash, ranks);
     for r in 0..ranks {
-        let pfs = dir_crash.join("pfs").join(format!("rank-{r}"));
+        let pfs = dir_crash.path().join("pfs").join(format!("rank-{r}"));
         for e in std::fs::read_dir(&pfs).unwrap().flatten() {
             let name = e.file_name().to_string_lossy().into_owned();
             if let Some(step) = frontier_sim::iosim::TieredWriter::parse_step(&name) {
@@ -77,7 +103,6 @@ fn resumed_run_matches_uninterrupted() {
             "momentum diverged in component {d}"
         );
     }
-    let _ = (std::fs::remove_dir_all(&dir_ref), std::fs::remove_dir_all(&dir_crash));
 }
 
 #[test]
@@ -87,7 +112,7 @@ fn resume_skips_torn_checkpoint() {
     run_simulation(&c, ranks);
     // Corrupt the newest checkpoint on the PFS: the resume must fall
     // back to the previous one and redo the lost step.
-    let pfs = dir.join("pfs").join("rank-0");
+    let pfs = dir.path().join("pfs").join("rank-0");
     let (latest, path) =
         frontier_sim::iosim::TieredWriter::latest_checkpoint(&pfs).unwrap();
     assert_eq!(latest, 2);
@@ -101,7 +126,43 @@ fn resume_skips_torn_checkpoint() {
     // Fell back to checkpoint 1 -> redoes steps 2 and 3.
     assert_eq!(resumed.steps.len(), 2);
     assert_eq!(resumed.steps[0].step, 2);
-    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_skips_crc_flipped_checkpoint_and_matches_reference() {
+    // A checkpoint whose stored CRC word (not the payload) was flipped
+    // must be rejected just like a torn payload, and resuming from the
+    // older valid checkpoint must land on the *bitwise* reference state.
+    let ranks = 2;
+    let (c, dir) = cfg("crcflip", 4);
+    let reference = run_simulation(&c, ranks);
+    // Flip a byte in the CRC trailer of every rank's newest checkpoint.
+    for r in 0..ranks {
+        let pfs = dir.path().join("pfs").join(format!("rank-{r}"));
+        let (latest, path) =
+            frontier_sim::iosim::TieredWriter::latest_checkpoint(&pfs).unwrap();
+        assert_eq!(latest, 3);
+        frontier_sim::iosim::inject::corrupt_crc(&path).unwrap();
+        // The reader must now refuse this file...
+        assert!(
+            frontier_sim::iosim::read_blocks(&path).is_err(),
+            "CRC-flipped checkpoint still readable"
+        );
+        // ...and the newest *valid* one is the previous step.
+        let (valid, _) =
+            frontier_sim::iosim::TieredWriter::load_latest_valid(&pfs).unwrap();
+        assert_eq!(valid, 2, "resume should fall back to checkpoint 2");
+    }
+
+    let resumed = resume_simulation(&c, ranks);
+    // Fell back to checkpoint 2 -> redoes step 3.
+    assert_eq!(resumed.steps.len(), 1);
+    assert_eq!(resumed.steps[0].step, 3);
+    // Gravity-only recovery is bit-exact, not just roundoff-close.
+    assert_eq!(
+        resumed.final_state_hash, reference.final_state_hash,
+        "resume from older valid checkpoint diverged from reference"
+    );
 }
 
 #[test]
@@ -118,7 +179,7 @@ fn hydro_state_survives_resume() {
     assert_eq!(resumed.steps.len(), 1);
     assert_eq!(resumed.steps[0].step, 2);
     // Final checkpoint has gas with positive u and the right species mix.
-    let pfs = dir.join("pfs").join("rank-0");
+    let pfs = dir.path().join("pfs").join("rank-0");
     let (_, blocks) =
         frontier_sim::iosim::TieredWriter::load_latest_valid(&pfs).unwrap();
     let species = blocks
@@ -134,5 +195,4 @@ fn hydro_state_survives_resume() {
             assert!(*uu > 0.0, "gas with zero internal energy after resume");
         }
     }
-    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -83,8 +83,10 @@ pub fn fof_halos(
             }
         }
     }
-    // Gather groups.
-    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    // Gather groups. BTreeMap, not HashMap: group order feeds the halo
+    // list, and ties in the mass sort below must break identically on
+    // every run for the golden-run tier to hold (lint rule D1).
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
     for i in 0..n as u32 {
         groups.entry(uf.find(i)).or_default().push(i);
     }

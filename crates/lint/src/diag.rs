@@ -1,0 +1,169 @@
+//! Diagnostics: the rule catalog, the finding record, and the text /
+//! JSON renderers behind `frontier-sim lint [--json]`.
+
+/// The rule catalog. Codes are stable API: they appear in diagnostics,
+/// in `lint.allow` entries, and in CI logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Determinism: hash-ordered collections in golden/reduction paths;
+    /// wall-clock reads outside the blessed timer modules.
+    D1,
+    /// Collective consistency: a communicator collective lexically inside
+    /// a rank-dependent conditional (SPMD deadlock hazard).
+    C1,
+    /// Hermeticity: every manifest dependency must be a path/workspace
+    /// reference; no `extern crate` / `use ::` escape hatches.
+    H1,
+    /// Unsafe audit: every `unsafe` token needs a `// SAFETY:` comment.
+    S1,
+    /// Fault-site coverage: every `FaultKind` variant must be injected by
+    /// at least one production `fire(...)` call site.
+    F1,
+}
+
+/// All rules, in report order.
+pub const RULES: [Rule; 5] = [Rule::D1, Rule::C1, Rule::H1, Rule::S1, Rule::F1];
+
+impl Rule {
+    /// Stable code string (`D1`, `C1`, ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::C1 => "C1",
+            Rule::H1 => "H1",
+            Rule::S1 => "S1",
+            Rule::F1 => "F1",
+        }
+    }
+
+    /// Parse a code string.
+    pub fn from_code(s: &str) -> Option<Rule> {
+        RULES.iter().copied().find(|r| r.code() == s)
+    }
+}
+
+/// One finding: `file:line: [RULE] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The canonical single-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// Sort + dedup a batch of findings into report order (file, line, rule,
+/// message) so output is byte-stable across runs and platforms.
+pub fn normalize(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON document for machine consumption:
+/// `{"findings": [...], "suppressed": N}`.
+pub fn render_json(findings: &[Diagnostic], suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule.code(),
+            json_escape(&d.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"suppressed\": {}\n}}\n", suppressed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::D1,
+            message: "msg".into(),
+        };
+        assert_eq!(d.render(), "crates/x/src/lib.rs:7: [D1] msg");
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let d = |f: &str, l: u32| Diagnostic {
+            file: f.into(),
+            line: l,
+            rule: Rule::S1,
+            message: "m".into(),
+        };
+        let out = normalize(vec![d("b.rs", 2), d("a.rs", 9), d("b.rs", 2)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].file, "a.rs");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: Rule::H1,
+            message: "say \"no\"\n".into(),
+        };
+        let j = render_json(&[d], 3);
+        assert!(j.contains("\\\"no\\\"\\n"));
+        assert!(j.contains("\"suppressed\": 3"));
+    }
+
+    #[test]
+    fn rule_codes_round_trip() {
+        for r in RULES {
+            assert_eq!(Rule::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Rule::from_code("Z9"), None);
+    }
+}

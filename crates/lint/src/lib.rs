@@ -1,0 +1,319 @@
+//! `hacc-lint` — workspace-native static analysis for determinism,
+//! SPMD collective safety, and hermeticity.
+//!
+//! The golden-run, chaos, and hermetic-build tiers assert this repo's
+//! headline properties (bitwise-reproducible checkpoints, deadlock-free
+//! collectives, offline builds) *at runtime*. This crate is the static
+//! side of the same contract: a std-only lexer ([`lexer`]) tokenizes
+//! every Rust source in the workspace, a line-level manifest reader
+//! ([`manifest`]) scans every `Cargo.toml`, and a rule registry
+//! ([`rules`]) pattern-matches the hazard classes before a test ever
+//! runs:
+//!
+//! | rule | class |
+//! |------|-------|
+//! | D1   | hash-ordered iteration in golden paths; stray wall-clock reads |
+//! | C1   | collectives under rank-dependent guards (SPMD deadlock)        |
+//! | H1   | non-path dependencies, `extern crate`, `use ::` escapes        |
+//! | S1   | `unsafe` without a `// SAFETY:` comment                        |
+//! | F1   | `FaultKind` variants no production site can inject             |
+//!
+//! Findings print as `file:line: [RULE] message`; suppressions live in
+//! a checked-in `lint.allow` ([`allow`]) whose every entry requires a
+//! justification. Exit codes: 0 clean, 1 unsuppressed findings, 2 bad
+//! invocation/IO. The same driver backs both the standalone `hacc-lint`
+//! binary (the tier-0 gate in `scripts/verify.sh`, buildable without
+//! compiling the simulation) and the `frontier-sim lint` subcommand.
+
+use std::path::{Path, PathBuf};
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use allow::AllowList;
+pub use diag::{Diagnostic, Rule};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Token stream (comments included; test regions marked).
+    pub toks: Vec<lexer::Token>,
+}
+
+/// Everything the rules see: lexed sources plus scanned manifests.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Lexed `.rs` files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Scanned `Cargo.toml` files, sorted by path.
+    pub manifests: Vec<manifest::ManifestFile>,
+}
+
+/// Directories never scanned (build output, VCS, artifacts).
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "bench_artifacts", "node_modules"];
+
+impl Workspace {
+    /// Build a workspace from in-memory sources — the fixture entry
+    /// point for rule tests. Paths ending in `Cargo.toml` are scanned
+    /// as manifests, everything else is lexed as Rust.
+    pub fn from_sources(entries: &[(&str, &str)]) -> Self {
+        let mut ws = Workspace::default();
+        for (rel, text) in entries {
+            if rel.ends_with("Cargo.toml") {
+                ws.manifests.push(manifest::scan(rel, text));
+            } else {
+                ws.files.push(SourceFile {
+                    rel: rel.to_string(),
+                    toks: lexer::lex(text),
+                });
+            }
+        }
+        ws.sort();
+        ws
+    }
+
+    /// Recursively load every `.rs` and `Cargo.toml` under `root`.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let mut ws = Workspace::default();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let entries = std::fs::read_dir(&dir)
+                .map_err(|e| format!("read {}: {e}", dir.display()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if path.is_dir() {
+                    if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                        stack.push(path);
+                    }
+                    continue;
+                }
+                let rel = relpath(root, &path);
+                if name == "Cargo.toml" {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("read {}: {e}", path.display()))?;
+                    ws.manifests.push(manifest::scan(&rel, &text));
+                } else if name.ends_with(".rs") {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("read {}: {e}", path.display()))?;
+                    ws.files.push(SourceFile {
+                        rel,
+                        toks: lexer::lex(&text),
+                    });
+                }
+            }
+        }
+        ws.sort();
+        Ok(ws)
+    }
+
+    fn sort(&mut self) {
+        self.files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        self.manifests.sort_by(|a, b| a.rel.cmp(&b.rel));
+    }
+}
+
+fn relpath(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walk upward from `start` to the manifest declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+}
+
+/// Result of one lint run, before rendering.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted.
+    pub findings: Vec<Diagnostic>,
+    /// Findings matched by `lint.allow` entries.
+    pub suppressed: usize,
+    /// `lint.allow` entries (file, rule, allow-file line) that matched
+    /// nothing this run.
+    pub unused_allows: Vec<(String, Rule, u32)>,
+}
+
+/// Run every rule over `ws`, partitioning through the allowlist.
+pub fn lint(ws: &Workspace, allow: &mut AllowList) -> LintReport {
+    let all = rules::run_all(ws);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for d in all {
+        if allow.suppresses(&d) {
+            suppressed += 1;
+        } else {
+            findings.push(d);
+        }
+    }
+    let unused_allows = allow
+        .unused()
+        .into_iter()
+        .map(|e| (e.file.clone(), e.rule, e.line))
+        .collect();
+    LintReport {
+        findings,
+        suppressed,
+        unused_allows,
+    }
+}
+
+/// The shared CLI driver behind `hacc-lint` and `frontier-sim lint`.
+///
+/// ```text
+/// lint [--root DIR] [--allow FILE] [--json]
+/// ```
+///
+/// Returns the process exit code: 0 clean, 1 unsuppressed findings,
+/// 2 invocation or IO error.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("lint: --root requires a directory");
+                    return 2;
+                }
+            },
+            "--allow" => match it.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("lint: --allow requires a file");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("lint: unknown option {other:?} (expected --root DIR | --allow FILE | --json)");
+                return 2;
+            }
+        }
+    }
+
+    let start = root.unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_workspace_root(&start) else {
+        eprintln!(
+            "lint: no workspace Cargo.toml found at or above {}",
+            start.display()
+        );
+        return 2;
+    };
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("lint.allow"));
+    let mut allow = if allow_file.exists() {
+        let text = match std::fs::read_to_string(&allow_file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint: read {}: {e}", allow_file.display());
+                return 2;
+            }
+        };
+        match AllowList::parse(&text, &allow_file.to_string_lossy()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return 2;
+            }
+        }
+    } else {
+        AllowList::empty()
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return 2;
+        }
+    };
+    let report = lint(&ws, &mut allow);
+
+    if json {
+        print!("{}", diag::render_json(&report.findings, report.suppressed));
+    } else {
+        for d in &report.findings {
+            println!("{}", d.render());
+        }
+        for (file, rule, line) in &report.unused_allows {
+            eprintln!(
+                "lint: note: lint.allow:{line}: suppression of {} in {file} matched nothing (stale?)",
+                rule.code()
+            );
+        }
+        eprintln!(
+            "hacc-lint: {} file(s), {} manifest(s): {} finding(s), {} suppressed",
+            ws.files.len(),
+            ws.manifests.len(),
+            report.findings.len(),
+            report.suppressed
+        );
+    }
+    if report.findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sources_routes_manifests_and_rust() {
+        let ws = Workspace::from_sources(&[
+            ("crates/x/Cargo.toml", "[package]\nname = \"x\"\n"),
+            ("crates/x/src/lib.rs", "fn f() {}"),
+        ]);
+        assert_eq!(ws.files.len(), 1);
+        assert_eq!(ws.manifests.len(), 1);
+        assert_eq!(ws.manifests[0].package.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn lint_partitions_through_allowlist() {
+        let ws = Workspace::from_sources(&[(
+            "crates/x/src/lib.rs",
+            "fn f() { unsafe { g() } }",
+        )]);
+        let mut allow = AllowList::empty();
+        let r = lint(&ws, &mut allow);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::S1);
+
+        let mut allow = AllowList::parse(
+            "crates/x/src/lib.rs: S1: fixture justification for the test\n",
+            "t",
+        )
+        .unwrap();
+        let r = lint(&ws, &mut allow);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed, 1);
+        assert!(r.unused_allows.is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! `hacc-lint` — the standalone binary behind the tier-0 gate in
+//! `scripts/verify.sh`. Building it compiles only this std-only crate,
+//! so the gate runs before (and much faster than) the full workspace
+//! build. `frontier-sim lint` drives the identical [`hacc_lint::cli_main`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hacc_lint::cli_main(&args));
+}

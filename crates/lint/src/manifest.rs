@@ -1,0 +1,229 @@
+//! Minimal Cargo manifest reader for the hermeticity rule (H1).
+//!
+//! This workspace's dependency policy (DESIGN.md, "Dependency policy")
+//! only admits `path = ...` and `workspace = true` dependency entries,
+//! so the reader does not need a full TOML parser: it tracks section
+//! headers line by line and classifies each entry in a `*dependencies*`
+//! table. Anything it cannot prove hermetic is reported — the rule
+//! fails closed.
+
+/// One dependency entry found in a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Crate name as written (`hacc-rt`, `rand`).
+    pub name: String,
+    /// 1-based line of the entry.
+    pub line: u32,
+    /// True when the entry is a pure path/workspace reference.
+    pub hermetic: bool,
+    /// The raw right-hand side, for the diagnostic message.
+    pub spec: String,
+}
+
+/// A scanned manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Package name from `[package] name = ...`, if present.
+    pub package: Option<String>,
+    /// All dependency entries across every `*dependencies*` table.
+    pub deps: Vec<Dep>,
+}
+
+fn is_deps_section(section: &str) -> bool {
+    // dependencies, dev-dependencies, build-dependencies,
+    // workspace.dependencies, target.'cfg(..)'.dependencies
+    section == "dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with("-dependencies")
+}
+
+fn value_is_hermetic(value: &str) -> bool {
+    // `{ path = "..." }`, `{ workspace = true }`, or combinations with
+    // feature scaffolding. A bare version string or git/registry key is
+    // not hermetic.
+    let v = value.trim();
+    if !v.starts_with('{') {
+        return false;
+    }
+    if v.contains("git") || v.contains("version") || v.contains("registry") {
+        return false;
+    }
+    has_key(v, "path") || v.replace(' ', "").contains("workspace=true")
+}
+
+fn has_key(table: &str, key: &str) -> bool {
+    // `key =` appearing as a key (start of table or after `{`/`,`).
+    let mut rest = table;
+    while let Some(pos) = rest.find(key) {
+        let before_ok = pos == 0
+            || matches!(
+                rest[..pos].trim_end().chars().last(),
+                Some('{') | Some(',') | None
+            );
+        let after = rest[pos + key.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            return true;
+        }
+        rest = &rest[pos + key.len()..];
+    }
+    false
+}
+
+/// Scan one manifest's text.
+pub fn scan(rel: &str, text: &str) -> ManifestFile {
+    let mut section = String::new();
+    let mut package = None;
+    let mut in_package = false;
+    let mut deps = Vec::new();
+    // `[dependencies.foo]` multi-line tables accumulate into this.
+    let mut open_dep: Option<Dep> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(prev) = open_dep.take() {
+                deps.push(prev);
+            }
+            section = line.trim_matches(['[', ']']).to_string();
+            in_package = section == "package";
+            // `[dependencies.foo]`: a dependency named foo whose keys
+            // follow on subsequent lines.
+            for deps_sect in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                if let Some(name) = section
+                    .strip_prefix(deps_sect)
+                    .or_else(|| section.strip_prefix(&format!("workspace.{deps_sect}")))
+                {
+                    open_dep = Some(Dep {
+                        name: name.to_string(),
+                        line: lineno,
+                        hermetic: false,
+                        spec: format!("[{section}]"),
+                    });
+                }
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(dep) = open_dep.as_mut() {
+            if key == "path" || (key == "workspace" && value.starts_with("true")) {
+                dep.hermetic = true;
+            }
+            if key == "version" || key == "git" || key == "registry" {
+                dep.hermetic = false;
+                dep.spec = line.to_string();
+                // A poisoned key wins over path/workspace: stop honoring
+                // later hermetic keys by pushing immediately.
+                deps.push(open_dep.take().unwrap());
+            }
+            continue;
+        }
+        if in_package && key == "name" {
+            package = Some(value.trim_matches('"').to_string());
+            continue;
+        }
+        if is_deps_section(&section) {
+            // `foo = ...` | `foo.workspace = true` | `foo.path = "..."`
+            let (name, subkey) = match key.split_once('.') {
+                Some((n, k)) => (n, Some(k)),
+                None => (key, None),
+            };
+            let hermetic = match subkey {
+                Some("workspace") => value.starts_with("true"),
+                Some("path") => true,
+                Some(_) => false,
+                None => value_is_hermetic(value),
+            };
+            deps.push(Dep {
+                name: name.trim_matches('"').to_string(),
+                line: lineno,
+                hermetic,
+                spec: line.to_string(),
+            });
+        }
+    }
+    if let Some(prev) = open_dep.take() {
+        deps.push(prev);
+    }
+    ManifestFile {
+        rel: rel.to_string(),
+        package,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_are_hermetic() {
+        let m = scan(
+            "Cargo.toml",
+            "[package]\nname = \"frontier-sim\"\n\
+             [dependencies]\n\
+             hacc-rt = { path = \"crates/rt\" }\n\
+             hacc-core.workspace = true\n\
+             hacc-mesh.path = \"crates/mesh\"\n",
+        );
+        assert_eq!(m.package.as_deref(), Some("frontier-sim"));
+        assert_eq!(m.deps.len(), 3);
+        assert!(m.deps.iter().all(|d| d.hermetic), "{:?}", m.deps);
+    }
+
+    #[test]
+    fn version_git_and_bare_deps_are_not() {
+        let m = scan(
+            "crates/x/Cargo.toml",
+            "[dependencies]\n\
+             rand = \"0.8\"\n\
+             serde = { version = \"1\", features = [\"derive\"] }\n\
+             left-pad = { git = \"https://example.org\" }\n",
+        );
+        assert_eq!(m.deps.len(), 3);
+        assert!(m.deps.iter().all(|d| !d.hermetic));
+    }
+
+    #[test]
+    fn dotted_dependency_tables_are_classified() {
+        let m = scan(
+            "crates/x/Cargo.toml",
+            "[dependencies.good]\npath = \"../good\"\n\
+             [dependencies.bad]\nversion = \"1.0\"\n",
+        );
+        let good = m.deps.iter().find(|d| d.name == "good").unwrap();
+        let bad = m.deps.iter().find(|d| d.name == "bad").unwrap();
+        assert!(good.hermetic);
+        assert!(!bad.hermetic);
+    }
+
+    #[test]
+    fn workspace_dependencies_table_is_scanned() {
+        let m = scan(
+            "Cargo.toml",
+            "[workspace.dependencies]\nhacc-rt = { path = \"crates/rt\" }\nrayon = \"1\"\n",
+        );
+        assert_eq!(m.deps.len(), 2);
+        assert!(m.deps[0].hermetic);
+        assert!(!m.deps[1].hermetic);
+    }
+
+    #[test]
+    fn dev_dependencies_count() {
+        let m = scan(
+            "crates/x/Cargo.toml",
+            "[dev-dependencies]\ncriterion = \"0.5\"\n",
+        );
+        assert_eq!(m.deps.len(), 1);
+        assert!(!m.deps[0].hermetic);
+        assert_eq!(m.deps[0].name, "criterion");
+    }
+}

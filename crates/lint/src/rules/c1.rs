@@ -1,0 +1,143 @@
+//! C1 — SPMD collective consistency.
+//!
+//! Every rank of an SPMD program must execute the same sequence of
+//! collectives; a collective reached by some ranks and not others
+//! deadlocks the job (at production scale: 72,000 ranks hang until the
+//! scheduler kills them). The classic way to write that bug is
+//!
+//! ```text
+//! if comm.rank() == 0 {
+//!     let total = comm.all_reduce_sum_u64(n);   // ranks 1.. never enter
+//! }
+//! ```
+//!
+//! This rule flags a `Communicator` collective call that is lexically
+//! inside an `if`/`while`/`match` whose guard mentions a rank identity
+//! (`rank`, `rank_id`, `my_rank`, `world_rank` as exact identifiers —
+//! which includes any `.rank()` method call). `else` branches of such a
+//! conditional are equally rank-dependent and inherit the taint.
+//!
+//! The analysis is lexical: it tracks brace scopes, not control flow,
+//! so a collective whose *execution* is rank-uniform but whose *text*
+//! sits under a rank guard still fires. That is the right default for a
+//! deadlock class — suppress the rare intentional case in `lint.allow`
+//! with a justification explaining why every rank reaches the call.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Kind, Token};
+use crate::{SourceFile, Workspace};
+
+/// The `hacc_ranks::Comm` collective surface (method names).
+const COLLECTIVES: [&str; 9] = [
+    "barrier",
+    "broadcast",
+    "gather",
+    "all_gather",
+    "all_reduce",
+    "all_reduce_f64",
+    "all_reduce_sum_u64",
+    "exscan_u64",
+    "all_to_allv",
+];
+
+/// Identifiers that mark a guard as rank-dependent.
+const RANK_IDENTS: [&str; 4] = ["rank", "rank_id", "my_rank", "world_rank"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        scan_file(f, &mut out);
+    }
+    out
+}
+
+fn guard_mentions_rank(guard: &[&Token]) -> bool {
+    guard
+        .iter()
+        .any(|t| t.kind == Kind::Ident && RANK_IDENTS.contains(&t.text.as_str()))
+}
+
+fn scan_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks: Vec<&Token> = f.toks.iter().filter(|t| t.kind != Kind::Comment).collect();
+    // Brace-scope stack: true = this scope (or an enclosing one) is the
+    // body of a rank-guarded conditional.
+    let mut scopes: Vec<bool> = Vec::new();
+    // Taint for the next `{` (set by a rank-mentioning guard).
+    let mut pending_guard = false;
+    // An `if`-scope that was rank-guarded just closed: its `else` branch
+    // is rank-dependent too.
+    let mut pending_else = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == Kind::Ident && (t.text == "if" || t.text == "while" || t.text == "match") {
+            // Collect guard tokens up to the body `{` at bracket depth 0.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut guard: Vec<&Token> = Vec::new();
+            while j < toks.len() {
+                let g = toks[j];
+                if g.kind == Kind::Punct {
+                    match g.text.as_bytes().first() {
+                        Some(b'(') | Some(b'[') => depth += 1,
+                        Some(b')') | Some(b']') => depth -= 1,
+                        Some(b'{') if depth == 0 => break,
+                        Some(b';') if depth == 0 => break, // `while` in macro/odd context
+                        _ => {}
+                    }
+                }
+                guard.push(g);
+                j += 1;
+            }
+            if guard_mentions_rank(&guard) || pending_else {
+                pending_guard = true;
+            }
+            pending_else = false;
+            i += 1; // the guard tokens are re-scanned for nested ifs; harmless
+            continue;
+        }
+        if t.is_punct('{') {
+            let inherited = scopes.last().copied().unwrap_or(false);
+            scopes.push(inherited || pending_guard || pending_else);
+            pending_guard = false;
+            pending_else = false;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            let was_guarded = scopes.pop().unwrap_or(false);
+            let enclosing = scopes.last().copied().unwrap_or(false);
+            // `} else ...` continues the same rank-dependent decision.
+            if was_guarded && !enclosing {
+                if let Some(next) = toks.get(i + 1) {
+                    if next.is_ident("else") {
+                        pending_else = true;
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // A collective method call inside a rank-guarded scope.
+        if t.kind == Kind::Ident
+            && COLLECTIVES.contains(&t.text.as_str())
+            && scopes.last().copied().unwrap_or(false)
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: Rule::C1,
+                message: format!(
+                    "collective `{}` inside a rank-dependent conditional: ranks \
+                     that skip the branch never enter the collective (SPMD \
+                     deadlock); hoist it out or make the guard rank-uniform",
+                    t.text
+                ),
+            });
+        }
+        i += 1;
+    }
+}

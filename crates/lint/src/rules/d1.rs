@@ -1,0 +1,123 @@
+//! D1 — determinism.
+//!
+//! Two lexical checks back the golden-run contract:
+//!
+//! 1. **Hash-ordered collections in golden paths.** Iterating a
+//!    `HashMap`/`HashSet` visits entries in hasher order, which varies
+//!    with `RandomState` — any value that flows from such an iteration
+//!    into telemetry, analysis output, or a cross-rank reduction breaks
+//!    bitwise reproducibility. The rule flags *any* mention of a hash
+//!    collection in the scoped golden paths (`crates/telem/src`,
+//!    `crates/analysis/src`, `crates/core/src/driver.rs`): in those
+//!    files the fix is always `BTreeMap`/`BTreeSet` or a sort before
+//!    iteration, so mere presence is the signal.
+//!
+//! 2. **Wall-clock reads outside the blessed modules.** `Instant::now`
+//!    and `SystemTime` are how wall time leaks into what should be a
+//!    pure function of the seed. Only `core::timers` (the phase-timer
+//!    authority), `rt::bench`, and the `crates/bench` harness may read
+//!    clocks; anything else needs a reviewed `lint.allow` entry.
+//!
+//! `#[cfg(test)]` regions and `tests/`/`benches/` trees are exempt —
+//! test scaffolding may time itself without touching golden artifacts.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::Kind;
+use crate::{SourceFile, Workspace};
+
+/// Paths where hash-ordered collections are output-affecting.
+const GOLDEN_SCOPES: [&str; 3] = [
+    "crates/telem/src/",
+    "crates/analysis/src/",
+    "crates/core/src/driver.rs",
+];
+
+/// Modules blessed to read wall clocks.
+const CLOCK_ALLOWED: [&str; 3] = [
+    "crates/core/src/timers.rs",
+    "crates/rt/src/bench.rs",
+    "crates/bench/",
+];
+
+fn in_scope(rel: &str, scopes: &[&str]) -> bool {
+    scopes
+        .iter()
+        .any(|s| rel == s.trim_end_matches('/') || rel.starts_with(s))
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if in_scope(&f.rel, &GOLDEN_SCOPES) {
+            hash_collections(f, &mut out);
+        }
+        if !in_scope(&f.rel, &CLOCK_ALLOWED) && !is_test_path(&f.rel) {
+            wall_clock(f, &mut out);
+        }
+    }
+    out
+}
+
+fn hash_collections(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for t in &f.toks {
+        if t.kind != Kind::Ident || t.in_test {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: Rule::D1,
+                message: format!(
+                    "`{}` in a golden/reduction path: iteration order depends on \
+                     hasher state; use BTreeMap/BTreeSet or sort before iterating",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn wall_clock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks: Vec<_> = f
+        .toks
+        .iter()
+        .filter(|t| t.kind != Kind::Comment)
+        .collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.in_test {
+            continue;
+        }
+        if t.text == "SystemTime" {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: Rule::D1,
+                message: "`SystemTime` outside the blessed timer modules \
+                          (core::timers, rt::bench, crates/bench): wall time must \
+                          not reach deterministic state"
+                    .into(),
+            });
+        }
+        if t.text == "Instant"
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: Rule::D1,
+                message: "`Instant::now` outside the blessed timer modules \
+                          (core::timers, rt::bench, crates/bench): route timing \
+                          through the phase timers or the span tracer"
+                    .into(),
+            });
+        }
+    }
+}

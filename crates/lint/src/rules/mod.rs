@@ -1,0 +1,24 @@
+//! The rule registry. Each rule is a pure function of the
+//! [`Workspace`](crate::Workspace): token streams plus scanned
+//! manifests in, diagnostics out.
+
+use crate::diag::{normalize, Diagnostic};
+use crate::Workspace;
+
+pub mod c1;
+pub mod d1;
+pub mod f1;
+pub mod h1;
+pub mod s1;
+
+/// Run every rule over the workspace; findings come back sorted and
+/// deduplicated (byte-stable output across runs and platforms).
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(d1::run(ws));
+    out.extend(c1::run(ws));
+    out.extend(h1::run(ws));
+    out.extend(s1::run(ws));
+    out.extend(f1::run(ws));
+    normalize(out)
+}

@@ -1,0 +1,341 @@
+//! Rule fixtures and the clean-workspace self-check.
+//!
+//! Every rule is demonstrated twice: a seeded fixture that MUST fire,
+//! and a neighboring clean fixture that must NOT (the no-false-positive
+//! half is what makes the gate adoptable). Fixture code lives inside
+//! string literals, which the lexer treats as opaque — so nothing in
+//! this file can trip the self-check that lints the repository itself.
+
+use hacc_lint::{lint, rules, AllowList, Rule, Workspace};
+
+fn findings(ws: &Workspace, rule: Rule) -> Vec<String> {
+    rules::run_all(ws)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.render())
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1 --
+
+#[test]
+fn d1_hash_collection_in_golden_path_fires() {
+    let ws = Workspace::from_sources(&[(
+        "crates/telem/src/fixture.rs",
+        r#"
+            use std::collections::HashMap;
+            pub fn report(m: &HashMap<u32, u64>) -> String {
+                let mut out = String::new();
+                for (k, v) in m.iter() {
+                    out.push_str(&format!("{k}={v}\n"));
+                }
+                out
+            }
+        "#,
+    )]);
+    let hits = findings(&ws, Rule::D1);
+    assert!(!hits.is_empty(), "seeded HashMap iteration must fire");
+    assert!(hits[0].contains("crates/telem/src/fixture.rs"));
+}
+
+#[test]
+fn d1_btreemap_and_out_of_scope_hashmap_are_clean() {
+    let ws = Workspace::from_sources(&[
+        (
+            "crates/telem/src/fixture.rs",
+            r#"
+                use std::collections::BTreeMap;
+                pub fn report(m: &BTreeMap<u32, u64>) -> usize { m.len() }
+                // A HashMap mentioned in a comment is not a finding.
+                pub fn s() -> &'static str { "HashMap in a string is fine" }
+            "#,
+        ),
+        (
+            // mesh is not a golden-output path: scratch hash maps are fine.
+            "crates/mesh/src/fixture.rs",
+            "use std::collections::HashMap;\npub fn f() { let _m: HashMap<u8, u8> = HashMap::new(); }",
+        ),
+    ]);
+    assert_eq!(findings(&ws, Rule::D1), Vec::<String>::new());
+}
+
+#[test]
+fn d1_stray_wall_clock_in_telem_fires() {
+    // The acceptance fixture: a stray Instant::now() in crates/telem.
+    let ws = Workspace::from_sources(&[(
+        "crates/telem/src/stray.rs",
+        "pub fn t() -> f64 { let t0 = std::time::Instant::now(); t0.elapsed().as_secs_f64() }",
+    )]);
+    let hits = findings(&ws, Rule::D1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("Instant::now"));
+}
+
+#[test]
+fn d1_wall_clock_is_allowed_in_blessed_modules_and_tests() {
+    let ws = Workspace::from_sources(&[
+        (
+            "crates/core/src/timers.rs",
+            "pub fn t() { let _ = std::time::Instant::now(); }",
+        ),
+        (
+            "crates/rt/src/bench.rs",
+            "pub fn t() { let _ = std::time::Instant::now(); }",
+        ),
+        (
+            "crates/bench/benches/b.rs",
+            "pub fn t() { let _ = std::time::SystemTime::now(); }",
+        ),
+        (
+            "crates/iosim/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::SystemTime::now(); }\n}",
+        ),
+        (
+            "tests/integration.rs",
+            "fn t() { let _ = std::time::Instant::now(); }",
+        ),
+    ]);
+    assert_eq!(findings(&ws, Rule::D1), Vec::<String>::new());
+}
+
+// ---------------------------------------------------------------- C1 --
+
+#[test]
+fn c1_collective_under_rank_guard_fires() {
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+            pub fn f(comm: &mut Comm, n: u64) {
+                if comm.rank() == 0 {
+                    let _total = comm.all_reduce_sum_u64(n);
+                }
+            }
+        "#,
+    )]);
+    let hits = findings(&ws, Rule::C1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("all_reduce_sum_u64"));
+}
+
+#[test]
+fn c1_else_branch_and_match_arms_inherit_the_taint() {
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+            pub fn f(comm: &mut Comm) {
+                if comm.rank() == 0 {
+                    log();
+                } else {
+                    comm.barrier();
+                }
+                match comm.rank() {
+                    0 => comm.all_gather(1u8),
+                    _ => Vec::new(),
+                };
+            }
+        "#,
+    )]);
+    let hits = findings(&ws, Rule::C1);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+}
+
+#[test]
+fn c1_rank_uniform_code_is_clean() {
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+            pub fn f(comm: &mut Comm, step: usize) {
+                comm.barrier();
+                let total = comm.all_reduce_sum_u64(1);
+                // Rank-guarded non-collective work is fine.
+                if comm.rank() == 0 {
+                    println!("{total}");
+                }
+                // Rank-uniform guards around collectives are fine.
+                if step > 0 {
+                    comm.barrier();
+                }
+                // `per_rank` is not a rank identity (exact-ident match).
+                if let Some(per_rank) = maybe(total) {
+                    comm.broadcast(0, per_rank);
+                }
+            }
+        "#,
+    )]);
+    assert_eq!(findings(&ws, Rule::C1), Vec::<String>::new());
+}
+
+// ---------------------------------------------------------------- H1 --
+
+#[test]
+fn h1_external_and_banned_dependencies_fire() {
+    let ws = Workspace::from_sources(&[(
+        "crates/x/Cargo.toml",
+        "[package]\nname = \"x\"\n[dependencies]\nrand = \"0.8\"\nserde = { version = \"1\" }\n",
+    )]);
+    let hits = findings(&ws, Rule::H1);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|h| h.contains("banned crate `rand`")));
+    assert!(hits.iter().any(|h| h.contains("`serde`")));
+}
+
+#[test]
+fn h1_extern_crate_and_use_root_escapes_fire() {
+    let ws = Workspace::from_sources(&[
+        ("crates/x/Cargo.toml", "[package]\nname = \"hacc-x\"\n"),
+        (
+            "crates/x/src/lib.rs",
+            "extern crate libc;\nuse ::left_pad::pad;\n",
+        ),
+    ]);
+    let hits = findings(&ws, Rule::H1);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+}
+
+#[test]
+fn h1_path_workspace_and_builtin_roots_are_clean() {
+    let ws = Workspace::from_sources(&[
+        (
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"hacc-x\"\n[dependencies]\nhacc-rt = { path = \"../rt\" }\nhacc-core.workspace = true\n",
+        ),
+        (
+            "crates/x/src/lib.rs",
+            "extern crate std;\nuse ::std::fmt;\nuse ::hacc_x::thing;\n",
+        ),
+    ]);
+    assert_eq!(findings(&ws, Rule::H1), Vec::<String>::new());
+}
+
+// ---------------------------------------------------------------- S1 --
+
+#[test]
+fn s1_undocumented_unsafe_fires() {
+    let ws = Workspace::from_sources(&[(
+        "crates/x/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+    )]);
+    let hits = findings(&ws, Rule::S1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("SAFETY"));
+}
+
+#[test]
+fn s1_safety_comment_within_window_is_clean_beyond_it_fires() {
+    let ws = Workspace::from_sources(&[
+        (
+            "crates/x/src/ok.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads.\n    unsafe { *p }\n}",
+        ),
+        (
+            "crates/x/src/far.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: too far away to count.\n    //\n    //\n    //\n    //\n    unsafe { *p }\n}",
+        ),
+    ]);
+    let hits = findings(&ws, Rule::S1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("far.rs"));
+}
+
+// ---------------------------------------------------------------- F1 --
+
+#[test]
+fn f1_uninjectable_fault_site_fires() {
+    let ws = Workspace::from_sources(&[(
+        "crates/fault/src/fixture.rs",
+        r#"
+            pub enum FaultKind { Alpha = 0, Beta = 1 }
+            pub fn g(p: &Probe) {
+                if p.fire(FaultKind::Alpha) { panic!("alpha"); }
+            }
+            #[cfg(test)]
+            mod tests {
+                // Test-only references do not count as injection coverage.
+                fn t(p: &Probe) { p.fire(FaultKind::Beta); }
+            }
+        "#,
+    )]);
+    let hits = findings(&ws, Rule::F1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("FaultKind::Beta"));
+}
+
+#[test]
+fn f1_fully_covered_enum_is_clean() {
+    let ws = Workspace::from_sources(&[(
+        "crates/fault/src/fixture.rs",
+        r#"
+            pub enum FaultKind { Alpha = 0, Beta = 1 }
+            pub fn g(p: &Probe) {
+                p.fire(FaultKind::Alpha);
+                p.fire(FaultKind::Beta);
+            }
+        "#,
+    )]);
+    assert_eq!(findings(&ws, Rule::F1), Vec::<String>::new());
+}
+
+// ---------------------------------------------- allowlist + exit codes --
+
+#[test]
+fn allowlist_requires_justification_and_suppresses_by_file_and_rule() {
+    assert!(AllowList::parse("crates/x/src/lib.rs: S1:\n", "lint.allow").is_err());
+
+    let ws = Workspace::from_sources(&[(
+        "crates/x/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }",
+    )]);
+    let mut allow = AllowList::parse(
+        "crates/x/src/lib.rs: S1: fixture — soundness reviewed in this test\n",
+        "lint.allow",
+    )
+    .unwrap();
+    let report = lint(&ws, &mut allow);
+    assert!(report.findings.is_empty());
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn cli_rejects_unknown_options_with_exit_2() {
+    assert_eq!(hacc_lint::cli_main(&["--bogus".to_string()]), 2);
+}
+
+// ------------------------------------------------------- self-check --
+
+/// The acceptance bar: `frontier-sim lint` reports zero unsuppressed
+/// findings on HEAD, with every suppression in `lint.allow` justified
+/// and live. Linting the real repository also exercises the lexer on
+/// ~130 real files every `cargo test`.
+#[test]
+fn clean_workspace_self_check() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = Workspace::load(&root).expect("load workspace");
+    assert!(
+        ws.files.len() > 100,
+        "expected the full workspace, got {} files",
+        ws.files.len()
+    );
+    let allow_text =
+        std::fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists");
+    let mut allow = AllowList::parse(&allow_text, "lint.allow").expect("lint.allow parses");
+    let report = lint(&ws, &mut allow);
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings on HEAD:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale lint.allow entries: {:?}",
+        report.unused_allows
+    );
+}

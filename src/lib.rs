@@ -10,6 +10,7 @@
 pub use hacc_analysis as analysis;
 pub use hacc_core as core;
 pub use hacc_fault as fault;
+pub use hacc_lint as lint;
 pub use hacc_gpusim as gpusim;
 pub use hacc_grav as grav;
 pub use hacc_iosim as iosim;

@@ -5,6 +5,7 @@
 //!                    [--zi Z] [--zf Z] [--seed S] [--out DIR] [--flat] [--resume]
 //!                    [--telemetry DIR] [--chaos SPEC]
 //! frontier-sim scaling [--ranks-max R]
+//! frontier-sim lint  [--root DIR] [--allow FILE] [--json]
 //! frontier-sim info
 //! ```
 
@@ -17,10 +18,11 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("scaling") => cmd_scaling(&args[1..]),
+        Some("lint") => std::process::exit(frontier_sim::lint::cli_main(&args[1..])),
         Some("info") => cmd_info(),
         _ => {
             eprintln!(
-                "usage: frontier-sim <run|scaling|info> [options]\n\
+                "usage: frontier-sim <run|scaling|lint|info> [options]\n\
                  \n\
                  run options:\n\
                  \x20 --np N          particles per dimension per species (default 12)\n\
@@ -40,7 +42,12 @@ fn main() {
                  \x20                 ckpt-crc nvme-err gpu-launch\n\
                  \n\
                  scaling options:\n\
-                 \x20 --ranks-max R   largest rank count in the sweep (default 4)"
+                 \x20 --ranks-max R   largest rank count in the sweep (default 4)\n\
+                 \n\
+                 lint options:\n\
+                 \x20 --root DIR      workspace to lint (default: walk up from cwd)\n\
+                 \x20 --allow FILE    suppression file (default: <root>/lint.allow)\n\
+                 \x20 --json          machine-readable findings on stdout"
             );
             std::process::exit(2);
         }

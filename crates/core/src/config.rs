@@ -72,6 +72,14 @@ pub struct SimConfig {
     /// flag; see `hacc_fault::FaultPlan::parse` for the grammar). `None`
     /// or an empty plan runs the plain unsupervised path.
     pub chaos: Option<String>,
+    /// Run the world under the hacc-san dynamic sanitizer (the
+    /// `--sanitize` flag): happens-before race detection over annotated
+    /// shared regions, MUST-style collective matching, and wait-graph
+    /// deadlock detection. The findings report rides on [`SimReport`]
+    /// and the telemetry golden section.
+    ///
+    /// [`SimReport`]: crate::driver::SimReport
+    pub sanitize: bool,
 }
 
 impl SimConfig {
@@ -106,6 +114,7 @@ impl SimConfig {
             seed: 8675309,
             io_dir: None,
             chaos: None,
+            sanitize: false,
         }
     }
 
@@ -137,6 +146,7 @@ impl SimConfig {
             seed: 42,
             io_dir: None,
             chaos: None,
+            sanitize: false,
         }
     }
 

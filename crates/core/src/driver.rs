@@ -132,6 +132,9 @@ pub struct SimReport {
     pub attempts: u64,
     /// Rollback recoveries the supervisor performed.
     pub rollbacks: u64,
+    /// Dynamic sanitizer report (`cfg.sanitize`); `None` when the run
+    /// was not sanitized.
+    pub sanitizer: Option<hacc_san::SanReport>,
 }
 
 /// Hard cap on smoothing lengths, in units of the interparticle spacing.
@@ -179,13 +182,28 @@ enum ResumeMode {
 }
 
 /// Run the configured simulation on `n_ranks` simulated ranks.
+///
+/// With `cfg.sanitize` set the world runs under the hacc-san dynamic
+/// sanitizer; the findings report is attached to the returned
+/// [`SimReport`] and mirrored into the telemetry golden section. A
+/// sanitizer abort (confirmed deadlock or payload mismatch) panics with
+/// the rendered report, since there are no rank results to assemble.
 pub fn run_simulation(cfg: &SimConfig, n_ranks: usize) -> SimReport {
     cfg.validate();
     let io_base = resolve_io_base(cfg);
+    if cfg.sanitize {
+        let (outputs, report) = World::run_sanitized(n_ranks, |comm| {
+            rank_main(cfg, comm, &io_base, ResumeMode::Fresh, None)
+        });
+        let outputs = outputs.unwrap_or_else(|| {
+            panic!("sanitizer aborted the run:\n{}", report.render_text())
+        });
+        return assemble_report(cfg, outputs, 1, 0, Some(report));
+    }
     let outputs = World::run(n_ranks, |comm| {
         rank_main(cfg, comm, &io_base, ResumeMode::Fresh, None)
     });
-    assemble_report(cfg, outputs, 1, 0)
+    assemble_report(cfg, outputs, 1, 0, None)
 }
 
 /// Resume an interrupted run from the newest CRC-valid checkpoint on the
@@ -202,7 +220,7 @@ pub fn resume_simulation(cfg: &SimConfig, n_ranks: usize) -> SimReport {
     let outputs = World::run(n_ranks, |comm| {
         rank_main(cfg, comm, &io_base, ResumeMode::Latest, None)
     });
-    assemble_report(cfg, outputs, 1, 0)
+    assemble_report(cfg, outputs, 1, 0, None)
 }
 
 /// Run under the fault supervisor: parse `cfg.chaos` into a [`FaultPlan`]
@@ -246,7 +264,13 @@ pub fn run_supervised(cfg: &SimConfig, n_ranks: usize) -> SimReport {
         }));
         match result {
             Ok(outputs) => {
-                return assemble_report(cfg, outputs, state.attempts(), state.rollbacks());
+                return assemble_report(
+                    cfg,
+                    outputs,
+                    state.attempts(),
+                    state.rollbacks(),
+                    None,
+                );
             }
             Err(cause) => {
                 if state.attempts() >= max_attempts {
@@ -274,6 +298,7 @@ fn assemble_report(
     outputs: Vec<RankOutput>,
     attempts: u64,
     rollbacks: u64,
+    sanitizer: Option<hacc_san::SanReport>,
 ) -> SimReport {
     let n_ranks = outputs.len();
     let mut timers = Timers::new();
@@ -332,6 +357,10 @@ fn assemble_report(
             .collect(),
         attempts,
         rollbacks,
+        sanitizer: sanitizer
+            .as_ref()
+            .map(hacc_san::SanReport::golden_lines)
+            .unwrap_or_default(),
     };
     SimReport {
         n_ranks,
@@ -357,6 +386,7 @@ fn assemble_report(
         final_state_hash: first.state_hash,
         attempts,
         rollbacks,
+        sanitizer,
     }
 }
 
@@ -465,6 +495,12 @@ fn rank_main(
     let overload_width = cfg.overload_cells * cfg.cell_size();
     let mut vsig_prev: Vec<f64> = Vec::new();
 
+    // Sanitizer region for this rank's overload (ghost) buffer: the
+    // exchange writes it once per step and the node-local solve reads
+    // it. One region per rank — ghosts are rank-private, and the
+    // detector checks the write-then-read ordering across steps.
+    let ghost_region = hacc_san::armed().then(|| hacc_san::region("ghost-exchange"));
+
     let da_pm = cfg.da_pm();
     for step in start_step..cfg.pm_steps {
         let a0 = cfg.a_init + step as f64 * da_pm;
@@ -481,6 +517,9 @@ fn rank_main(
         timers.begin(Phase::Misc);
         migrate(comm, &decomp, &mut store, cfg.box_size);
         exchange_overload(comm, &decomp, &mut store, cfg.box_size, overload_width);
+        if let Some(reg) = ghost_region {
+            hacc_san::annotate_write(reg);
+        }
         timers.end();
         tracer.end(sp);
 
@@ -532,6 +571,10 @@ fn rank_main(
         };
         let sp = tracer.begin("tree-build", "chaining-mesh");
         timers.begin(Phase::TreeBuild);
+        if let Some(reg) = ghost_region {
+            // The node-local solve starts consuming the ghosts here.
+            hacc_san::annotate_read(reg);
+        }
         let mut cm_all = ChainingMesh::build(&store.pos, dom_lo, dom_hi, &cm_cfg);
         timers.end();
         tracer.end(sp);

@@ -19,10 +19,35 @@ pub enum Rule {
     /// Fault-site coverage: every `FaultKind` variant must be injected by
     /// at least one production `fire(...)` call site.
     F1,
+    /// Dynamic (hacc-san): conflicting shared-region accesses unordered
+    /// by the happens-before relation — a data race.
+    R1,
+    /// Dynamic (hacc-san): collective sequence or signature divergence
+    /// across ranks (MUST-style collective matching).
+    Q1,
+    /// Dynamic (hacc-san): wait-for-graph deadlock cycle or a wait on an
+    /// exited rank (stall).
+    W1,
+    /// Dynamic (hacc-san): point-to-point match with a payload size or
+    /// type that disagrees with what the sender declared.
+    M1,
 }
 
-/// All rules, in report order.
-pub const RULES: [Rule; 5] = [Rule::D1, Rule::C1, Rule::H1, Rule::S1, Rule::F1];
+/// All rules, in report order. D1–F1 are static (token-stream) rules;
+/// R1/Q1/W1/M1 are dynamic findings emitted by the `hacc-san` runtime
+/// sanitizer, which shares this catalog so `san.allow` and `lint.allow`
+/// speak one format.
+pub const RULES: [Rule; 9] = [
+    Rule::D1,
+    Rule::C1,
+    Rule::H1,
+    Rule::S1,
+    Rule::F1,
+    Rule::R1,
+    Rule::Q1,
+    Rule::W1,
+    Rule::M1,
+];
 
 impl Rule {
     /// Stable code string (`D1`, `C1`, ...).
@@ -33,6 +58,10 @@ impl Rule {
             Rule::H1 => "H1",
             Rule::S1 => "S1",
             Rule::F1 => "F1",
+            Rule::R1 => "R1",
+            Rule::Q1 => "Q1",
+            Rule::W1 => "W1",
+            Rule::M1 => "M1",
         }
     }
 

@@ -17,15 +17,39 @@
 //! which includes any `.rank()` method call). `else` branches of such a
 //! conditional are equally rank-dependent and inherit the taint.
 //!
-//! The analysis is lexical: it tracks brace scopes, not control flow,
-//! so a collective whose *execution* is rank-uniform but whose *text*
+//! The check is *interprocedural*: a first pass extracts every `fn`
+//! definition with the names it calls, builds a name-keyed cross-file
+//! call graph, and computes the fixpoint of "transitively executes a
+//! collective". A rank-guarded call to such a helper is exactly as
+//! deadlock-prone as the inlined collective, so it fires the same rule:
+//!
+//! ```text
+//! fn sync_all(comm: &Comm) { comm.barrier(); }
+//! if comm.rank() == 0 { sync_all(comm); }      // C1 — wrapped deadlock
+//! ```
+//!
+//! Name-keyed matching cannot separate same-named methods on different
+//! types, so a name is tainted only when **every** definition of it in
+//! the workspace reaches a collective — common names (`merge`, `new`)
+//! with one collective-bearing overload among many stay quiet, while
+//! dedicated wrappers are caught wherever they are called from.
+//!
+//! Guard tracking is lexical: it follows brace scopes, not control
+//! flow, so a call whose *execution* is rank-uniform but whose *text*
 //! sits under a rank guard still fires. That is the right default for a
 //! deadlock class — suppress the rare intentional case in `lint.allow`
 //! with a justification explaining why every rank reaches the call.
+//!
+//! Test code is exempt: the seeded-violation fixtures for the hacc-san
+//! dynamic sanitizer *deliberately* place collectives under rank guards,
+//! and divergent collectives in tests are caught at runtime by the
+//! sanitizer's ledger/deadlock checks (the tier-4 `HACC_SAN=1` gate)
+//! rather than lexically.
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{Kind, Token};
 use crate::{SourceFile, Workspace};
+use std::collections::{HashMap, HashSet};
 
 /// The `hacc_ranks::Comm` collective surface (method names).
 const COLLECTIVES: [&str; 9] = [
@@ -43,12 +67,159 @@ const COLLECTIVES: [&str; 9] = [
 /// Identifiers that mark a guard as rank-dependent.
 const RANK_IDENTS: [&str; 4] = ["rank", "rank_id", "my_rank", "world_rank"];
 
+/// One `fn` definition: the names it calls and whether it invokes a
+/// collective method directly.
+struct FnDef {
+    name: String,
+    calls: HashSet<String>,
+    direct_collective: bool,
+}
+
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    // Pass A: extract every fn definition in the workspace.
+    let mut defs: Vec<FnDef> = Vec::new();
+    for f in &ws.files {
+        let toks: Vec<&Token> = f.toks.iter().filter(|t| t.kind != Kind::Comment).collect();
+        extract_defs(&toks, 0, toks.len(), &mut defs);
+    }
+    let reaches = collective_reachers(&defs);
+
+    // Pass B: flag rank-guarded calls to collectives or tainted helpers.
     let mut out = Vec::new();
     for f in &ws.files {
-        scan_file(f, &mut out);
+        scan_file(f, &reaches, &mut out);
     }
     out
+}
+
+/// Scan `toks[lo..hi]` for `fn` definitions, recursing into bodies so
+/// nested fns are extracted separately (their calls are not attributed
+/// to the enclosing fn).
+fn extract_defs(toks: &[&Token], lo: usize, hi: usize, defs: &mut Vec<FnDef>) {
+    let mut i = lo;
+    while i < hi {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            i = extract_one(toks, i, hi, defs);
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Extract the single `fn` definition starting at `i` (which points at
+/// the `fn` token), pushing it — and any fns nested in its body — onto
+/// `defs`. Returns the index just past the definition.
+fn extract_one(toks: &[&Token], i: usize, hi: usize, defs: &mut Vec<FnDef>) -> usize {
+    let in_test = toks[i].in_test;
+    let name = toks[i + 1].text.clone();
+    // Find the body `{` at paren/bracket depth 0; a `;` first means a
+    // bodiless trait declaration.
+    let mut depth = 0i32;
+    let mut j = i + 2;
+    let mut body_open = None;
+    while j < hi {
+        let t = toks[j];
+        if t.kind == Kind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') | Some(b'[') => depth += 1,
+                Some(b')') | Some(b']') => depth -= 1,
+                Some(b'{') if depth == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                Some(b';') if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let Some(open) = body_open else {
+        return j + 1;
+    };
+    let close = matching_brace(toks, open, hi);
+    let mut def = FnDef {
+        name,
+        calls: HashSet::new(),
+        direct_collective: false,
+    };
+    collect_calls(toks, open + 1, close, &mut def, defs);
+    // Test-only helpers stay out of the call graph: fixtures wrap
+    // collectives on purpose, and their taint must not leak onto
+    // same-named production fns through the all-defs-must-reach rule.
+    if !in_test {
+        defs.push(def);
+    }
+    close + 1
+}
+
+/// Index of the `}` closing the `{` at `open` (or `hi - 1` when the
+/// stream is truncated).
+fn matching_brace(toks: &[&Token], open: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(hi).skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    hi.saturating_sub(1)
+}
+
+/// Record the call targets of one fn body into `def`, recursing for
+/// nested `fn` definitions (which become their own entries in `defs`).
+fn collect_calls(toks: &[&Token], lo: usize, hi: usize, def: &mut FnDef, defs: &mut Vec<FnDef>) {
+    let mut i = lo;
+    while i < hi {
+        let t = toks[i];
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) {
+            i = extract_one(toks, i, hi, defs);
+            continue;
+        }
+        // `name(` is a call; `name!(` is a macro and stays out of the
+        // graph.
+        if t.kind == Kind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if COLLECTIVES.contains(&t.text.as_str()) {
+                def.direct_collective = true;
+            } else {
+                def.calls.insert(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Fixpoint of "this name transitively executes a collective". A name
+/// qualifies only when *every* definition of it reaches one — the
+/// conservative direction for a name-keyed graph with same-named
+/// methods on unrelated types.
+fn collective_reachers(defs: &[FnDef]) -> HashSet<String> {
+    let mut by_name: HashMap<&str, Vec<&FnDef>> = HashMap::new();
+    for d in defs {
+        by_name.entry(d.name.as_str()).or_default().push(d);
+    }
+    let mut reaches: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for (name, ds) in &by_name {
+            if reaches.contains(*name) {
+                continue;
+            }
+            let all_reach = ds.iter().all(|d| {
+                d.direct_collective || d.calls.iter().any(|c| reaches.contains(c))
+            });
+            if all_reach {
+                reaches.insert((*name).to_string());
+                changed = true;
+            }
+        }
+        if !changed {
+            return reaches;
+        }
+    }
 }
 
 fn guard_mentions_rank(guard: &[&Token]) -> bool {
@@ -57,7 +228,7 @@ fn guard_mentions_rank(guard: &[&Token]) -> bool {
         .any(|t| t.kind == Kind::Ident && RANK_IDENTS.contains(&t.text.as_str()))
 }
 
-fn scan_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+fn scan_file(f: &SourceFile, reaches: &HashSet<String>, out: &mut Vec<Diagnostic>) {
     let toks: Vec<&Token> = f.toks.iter().filter(|t| t.kind != Kind::Comment).collect();
     // Brace-scope stack: true = this scope (or an enclosing one) is the
     // body of a rank-guarded conditional.
@@ -118,14 +289,18 @@ fn scan_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             i += 1;
             continue;
         }
-        // A collective method call inside a rank-guarded scope.
-        if t.kind == Kind::Ident
-            && COLLECTIVES.contains(&t.text.as_str())
-            && scopes.last().copied().unwrap_or(false)
-            && i > 0
-            && toks[i - 1].is_punct('.')
+        let guarded = scopes.last().copied().unwrap_or(false);
+        let is_call = t.kind == Kind::Ident
+            && guarded
+            && !t.in_test
             && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
-        {
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        // A collective method call inside a rank-guarded scope.
+        if COLLECTIVES.contains(&t.text.as_str()) && i > 0 && toks[i - 1].is_punct('.') {
             out.push(Diagnostic {
                 file: f.rel.clone(),
                 line: t.line,
@@ -135,6 +310,22 @@ fn scan_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                      that skip the branch never enter the collective (SPMD \
                      deadlock); hoist it out or make the guard rank-uniform",
                     t.text
+                ),
+            });
+        } else if reaches.contains(&t.text) && !COLLECTIVES.contains(&t.text.as_str()) {
+            // A helper that transitively performs a collective, called
+            // under the same rank guard — the wrapped form of the same
+            // deadlock.
+            out.push(Diagnostic {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: Rule::C1,
+                message: format!(
+                    "call to `{}` inside a rank-dependent conditional: every \
+                     definition of `{}` transitively executes a collective, so \
+                     ranks that skip the branch never enter it (SPMD deadlock); \
+                     hoist the call out or make the guard rank-uniform",
+                    t.text, t.text
                 ),
             });
         }

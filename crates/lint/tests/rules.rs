@@ -165,6 +165,112 @@ fn c1_rank_uniform_code_is_clean() {
     assert_eq!(findings(&ws, Rule::C1), Vec::<String>::new());
 }
 
+#[test]
+fn c1_wrapper_collective_under_rank_guard_fires() {
+    // The lexical rule's classic false negative: the collective hides
+    // one call deep, in another file.
+    let ws = Workspace::from_sources(&[
+        (
+            "crates/core/src/helpers.rs",
+            r#"
+                pub fn sync_all(comm: &mut Comm) {
+                    comm.barrier();
+                }
+            "#,
+        ),
+        (
+            "crates/core/src/fixture.rs",
+            r#"
+                pub fn f(comm: &mut Comm) {
+                    if comm.rank() == 0 {
+                        sync_all(comm);
+                    }
+                }
+            "#,
+        ),
+    ]);
+    let hits = findings(&ws, Rule::C1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("sync_all"), "{hits:?}");
+    assert!(hits[0].contains("fixture.rs"), "{hits:?}");
+}
+
+#[test]
+fn c1_taint_is_transitive_through_helper_chains() {
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+            fn reduce_totals(comm: &mut Comm, n: u64) -> u64 {
+                comm.all_reduce_sum_u64(n)
+            }
+            fn publish_stats(comm: &mut Comm) {
+                let _ = reduce_totals(comm, 1);
+            }
+            pub fn f(comm: &mut Comm) {
+                if comm.rank() == 0 {
+                    publish_stats(comm);
+                }
+            }
+        "#,
+    )]);
+    let hits = findings(&ws, Rule::C1);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("publish_stats"), "{hits:?}");
+}
+
+#[test]
+fn c1_ambiguous_names_do_not_taint() {
+    // Name-keyed matching taints only when EVERY definition of the name
+    // reaches a collective; a second collective-free `merge` keeps the
+    // guarded call quiet.
+    let ws = Workspace::from_sources(&[(
+        "crates/core/src/fixture.rs",
+        r#"
+            impl Ledger {
+                fn merge(&mut self, comm: &mut Comm) {
+                    self.total = comm.all_reduce_sum_u64(self.total);
+                }
+            }
+            impl Timers {
+                fn merge(&mut self, other: &Timers) {
+                    self.wall += other.wall;
+                }
+            }
+            pub fn f(comm: &mut Comm, t: &mut Timers, o: &Timers) {
+                if comm.rank() == 0 {
+                    t.merge(o);
+                }
+            }
+        "#,
+    )]);
+    assert_eq!(findings(&ws, Rule::C1), Vec::<String>::new());
+}
+
+#[test]
+fn c1_test_fixtures_are_exempt() {
+    // Seeded-violation fixtures for the dynamic sanitizer deliberately
+    // put collectives under rank guards; the runtime tier owns tests.
+    let ws = Workspace::from_sources(&[(
+        "crates/ranks/src/fixture.rs",
+        r#"
+            #[cfg(test)]
+            mod tests {
+                fn wrapped(comm: &mut Comm) { comm.barrier(); }
+                #[test]
+                fn skipped_barrier_fixture() {
+                    World::run(2, |comm| {
+                        if comm.rank() == 0 {
+                            comm.barrier();
+                            wrapped(comm);
+                        }
+                    });
+                }
+            }
+        "#,
+    )]);
+    assert_eq!(findings(&ws, Rule::C1), Vec::<String>::new());
+}
+
 // ---------------------------------------------------------------- H1 --
 
 #[test]

@@ -6,13 +6,20 @@
 //!   [`RecvError`] — it can never hang on a disconnected channel, which
 //!   is what keeps `Communicator` teardown deterministic;
 //! * both endpoints are `Clone`; FIFO order is preserved per channel.
+//!
+//! When a sanitizer session is armed, each message carries a vector-
+//! clock stamp captured at `send`; every dequeue joins the stamp into
+//! the receiving thread's clock, making message passing a happens-before
+//! edge for the race detector. Unarmed, the stamp slot is `None` and the
+//! hooks cost one thread-local check.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 struct State<T> {
-    queue: VecDeque<T>,
+    queue: VecDeque<(T, Option<hacc_san::Stamp>)>,
     senders: usize,
     receivers: usize,
 }
@@ -79,6 +86,26 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the queue still empty.
+    Timeout,
+    /// Queue empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("channel recv timed out"),
+            RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// The sending half.
 pub struct Sender<T> {
     inner: Arc<Inner<T>>,
@@ -114,7 +141,7 @@ impl<T> Sender<T> {
         if st.receivers == 0 {
             return Err(SendError(value));
         }
-        st.queue.push_back(value);
+        st.queue.push_back((value, hacc_san::send_stamp()));
         drop(st);
         self.inner.ready.notify_one();
         Ok(())
@@ -160,7 +187,9 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut st = self.inner.lock();
         loop {
-            if let Some(v) = st.queue.pop_front() {
+            if let Some((v, stamp)) = st.queue.pop_front() {
+                drop(st);
+                hacc_san::recv_join(stamp.as_deref());
                 return Ok(v);
             }
             if st.senders == 0 {
@@ -174,10 +203,43 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Like [`recv`](Self::recv) but gives up after `timeout` with the
+    /// queue still empty. Only a genuine `Condvar` timeout counts as a
+    /// [`RecvTimeoutError::Timeout`]; spurious wakeups re-enter the
+    /// wait with the remaining budget, so callers polling a deadlock
+    /// detector see one tick per elapsed timeout, not per wakeup.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let mut st = self.inner.lock();
+        loop {
+            if let Some((v, stamp)) = st.queue.pop_front() {
+                drop(st);
+                hacc_san::recv_join(stamp.as_deref());
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            // A spurious wakeup re-enters the wait with the full budget
+            // (no wall-clock reads here — D1 keeps `Instant` out of the
+            // runtime), so the worst case waits longer, never shorter.
+            let (guard, wait) = self
+                .inner
+                .ready
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if wait.timed_out() && st.queue.is_empty() && st.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut st = self.inner.lock();
-        if let Some(v) = st.queue.pop_front() {
+        if let Some((v, stamp)) = st.queue.pop_front() {
+            drop(st);
+            hacc_san::recv_join(stamp.as_deref());
             return Ok(v);
         }
         if st.senders == 0 {
@@ -326,6 +388,22 @@ mod tests {
         assert_eq!(rx.len(), 2);
         let _ = rx.recv();
         assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -93,19 +93,30 @@ where
         }
     }
     let f = &f;
+    // Fork point for the race detector: each worker joins the parent's
+    // clock on entry and hands its clock back at the join below, so
+    // fork/join structure becomes happens-before edges.
+    let san_fork = hacc_san::fork();
     std::thread::scope(|scope| {
         let handles: Vec<_> = spans
             .into_iter()
             .map(|span| {
+                let fork = san_fork.clone();
                 scope.spawn(move || {
-                    span.into_iter().map(|(i, t)| f(i, t)).collect::<Vec<U>>()
+                    let tok = fork.as_ref().map(|h| h.enter());
+                    let out = span.into_iter().map(|(i, t)| f(i, t)).collect::<Vec<U>>();
+                    (out, tok.map(|t| t.finish()))
                 })
             })
             .collect();
         let mut out = Vec::with_capacity(n);
+        let mut clocks = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("hacc-rt worker panicked"));
+            let (vals, clock) = h.join().expect("hacc-rt worker panicked");
+            out.extend(vals);
+            clocks.extend(clock);
         }
+        hacc_san::join_workers(clocks);
         out
     })
 }
@@ -258,10 +269,24 @@ impl<T: Send> ParSlice<T> for [T] {
                 parts.push(head);
                 rest = tail;
             }
+            let san_fork = hacc_san::fork();
             std::thread::scope(|scope| {
-                for part in parts {
-                    scope.spawn(move || part.sort_unstable_by_key(key));
-                }
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let fork = san_fork.clone();
+                        scope.spawn(move || {
+                            let tok = fork.as_ref().map(|h| h.enter());
+                            part.sort_unstable_by_key(key);
+                            tok.map(|t| t.finish())
+                        })
+                    })
+                    .collect();
+                let clocks: Vec<_> = handles
+                    .into_iter()
+                    .filter_map(|h| h.join().expect("hacc-rt sort worker panicked"))
+                    .collect();
+                hacc_san::join_workers(clocks);
             });
         }
         // ...then merge pairs of adjacent runs until one remains.

@@ -4,44 +4,104 @@
 //! guards directly instead of `Result`s. A panic while holding the lock
 //! does not poison it — the next locker recovers the inner state, which
 //! matches how the I/O and rank layers used parking_lot.
+//!
+//! Sanitizer instrumentation: every lock embeds a `hacc_san::LockClock`
+//! and the guards drive its acquire/release hooks, so critical sections
+//! become happens-before edges for the race detector. When no sanitizer
+//! session is armed on the current thread the hooks return after one
+//! thread-local check and the clock cell never allocates — the
+//! zero-cost-when-off contract.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+
+use hacc_san::LockClock;
 
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    clock: LockClock,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the sanitizer clock edge
+/// on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    clock: &'a LockClock,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.clock.release();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Wrap `value`.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            clock: LockClock::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
-    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.clock.acquire();
+        MutexGuard {
+            inner: g,
+            clock: &self.clock,
+        }
     }
 
     /// Try to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        self.clock.acquire();
+        Some(MutexGuard {
+            inner: g,
+            clock: &self.clock,
+        })
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -53,34 +113,101 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// A reader-writer lock whose `read`/`write` never return `Result`s.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    clock: LockClock,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+///
+/// Readers drive the same acquire/release clock hooks as writers: that
+/// over-synchronizes concurrent readers (the detector sees them as
+/// ordered), which can hide read-read concurrency but never invents a
+/// race — the conservative direction for a gate.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    clock: &'a LockClock,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.clock.release();
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    clock: &'a LockClock,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.clock.release();
+    }
+}
 
 impl<T> RwLock<T> {
     /// Wrap `value`.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            clock: LockClock::new(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.clock.acquire();
+        RwLockReadGuard {
+            inner: g,
+            clock: &self.clock,
+        }
     }
 
     /// Acquire an exclusive write guard.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        self.clock.acquire();
+        RwLockWriteGuard {
+            inner: g,
+            clock: &self.clock,
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -143,5 +270,37 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn sanitized_lock_sections_are_ordered() {
+        // With a session armed, lock()/drop drive the clock hooks:
+        // mutations of a shared region under the lock must not be
+        // reported as races.
+        let session = hacc_san::SanSession::new(2);
+        let reg = hacc_san::region("sync-fixture");
+        let m = Arc::new(Mutex::new(0u32));
+        let rendezvous = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let session = Arc::clone(&session);
+                let m = Arc::clone(&m);
+                let rendezvous = Arc::clone(&rendezvous);
+                s.spawn(move || {
+                    let tok = hacc_san::register_thread(&session);
+                    rendezvous.wait();
+                    for _ in 0..50 {
+                        let mut g = m.lock();
+                        hacc_san::annotate_write(reg);
+                        *g += 1;
+                        drop(g);
+                    }
+                    tok.finish();
+                });
+            }
+        });
+        let report = session.finish();
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(*m.lock(), 100);
     }
 }

@@ -1,0 +1,96 @@
+//! Vector clocks over the global thread-slot space.
+//!
+//! A clock maps thread slots (see [`crate::registry`]) to logical times.
+//! Clocks grow on demand: a slot past the end reads as 0, which is the
+//! correct identity for `join` and comparisons — a thread that never
+//! synchronized with slot `s` has observed none of `s`'s history.
+
+/// A grow-on-demand vector clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    t: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (observed nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical time this clock has observed for `slot`.
+    #[inline]
+    pub fn get(&self, slot: usize) -> u64 {
+        self.t.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Set `slot`'s component (growing the clock as needed).
+    pub fn set(&mut self, slot: usize, time: u64) {
+        if slot >= self.t.len() {
+            self.t.resize(slot + 1, 0);
+        }
+        self.t[slot] = time;
+    }
+
+    /// Increment `slot`'s component and return the new value.
+    pub fn tick(&mut self, slot: usize) -> u64 {
+        let v = self.get(slot) + 1;
+        self.set(slot, v);
+        v
+    }
+
+    /// Pointwise maximum: after `a.join(b)`, `a` has observed everything
+    /// `a` or `b` had observed.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.t.len() > self.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (s, &v) in other.t.iter().enumerate() {
+            if v > self.t[s] {
+                self.t[s] = v;
+            }
+        }
+    }
+
+    /// Whether an event stamped `(slot, time)` happened-before the state
+    /// this clock describes (i.e. the clock has observed it).
+    #[inline]
+    pub fn observed(&self, slot: usize, time: u64) -> bool {
+        self.get(slot) >= time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unobserved_slots_read_zero() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(17), 0);
+        assert!(c.observed(17, 0));
+        assert!(!c.observed(17, 1));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn tick_increments_one_component() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(2), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Global thread-slot and region registries.
+//!
+//! Vector clocks index threads by a small dense *slot* id. Slots are
+//! allocated when a thread registers with a sanitizer session and
+//! recycled through a free list when it exits — but a slot's logical
+//! time is **monotonic across reuse**: a thread taking over slot `s`
+//! starts strictly above the time the previous occupant retired at, so
+//! a stale clock can never mistake the new occupant's events for the
+//! old one's (the classic epoch-confusion bug in recycled-tid race
+//! detectors).
+//!
+//! Regions are the unit of race detection: any shared object a caller
+//! wants checked registers once and annotates accesses against the
+//! returned [`RegionId`]. Ids are process-global so a region can be
+//! shared across sessions and threads freely.
+//!
+//! Internals use `std::sync` directly — the sanitizer must never route
+//! through the instrumented `hacc_rt::sync` wrappers it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct SlotTable {
+    /// Last retired logical time per slot (0 = never occupied).
+    retired: Vec<u64>,
+    /// Currently unoccupied slots.
+    free: Vec<usize>,
+}
+
+static SLOTS: Mutex<SlotTable> = Mutex::new(SlotTable {
+    retired: Vec::new(),
+    free: Vec::new(),
+});
+
+/// Claim a slot. Returns `(slot, start_time)`; the occupant's first
+/// event must be stamped at `start_time`, which is strictly greater
+/// than anything the slot's previous occupants published.
+pub(crate) fn alloc_slot() -> (usize, u64) {
+    let mut t = SLOTS.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = t.free.pop() {
+        (slot, t.retired[slot] + 1)
+    } else {
+        t.retired.push(0);
+        (t.retired.len() - 1, 1)
+    }
+}
+
+/// Retire a slot at `final_time` (the occupant's own component when it
+/// exited), making it available for reuse above that time.
+pub(crate) fn release_slot(slot: usize, final_time: u64) {
+    let mut t = SLOTS.lock().unwrap_or_else(|e| e.into_inner());
+    if t.retired[slot] < final_time {
+        t.retired[slot] = final_time;
+    }
+    t.free.push(slot);
+}
+
+/// A registered shared region: the unit of race detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) u64);
+
+static NEXT_REGION: AtomicU64 = AtomicU64::new(1);
+static REGION_NAMES: Mutex<Vec<(u64, &'static str)>> = Mutex::new(Vec::new());
+
+/// Register a shared region under a diagnostic name. Each call returns
+/// a distinct region — two objects that should be checked against each
+/// other must share one `RegionId`.
+pub fn region(name: &'static str) -> RegionId {
+    let id = NEXT_REGION.fetch_add(1, Ordering::Relaxed);
+    REGION_NAMES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id, name));
+    RegionId(id)
+}
+
+/// Diagnostic name a region was registered under.
+pub(crate) fn region_name(id: RegionId) -> &'static str {
+    REGION_NAMES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .find(|(i, _)| *i == id.0)
+        .map(|(_, n)| *n)
+        .unwrap_or("<unregistered>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_reuse_is_monotonic() {
+        let (s1, t1) = alloc_slot();
+        assert!(t1 >= 1);
+        release_slot(s1, t1 + 41);
+        // The free list hands the same slot back, above the retired time.
+        let (s2, t2) = alloc_slot();
+        // Another test thread may have raced us to the freed slot; only
+        // assert the invariant that matters: reuse starts strictly above
+        // retirement.
+        if s2 == s1 {
+            assert!(t2 > t1 + 41);
+        }
+        release_slot(s2, t2);
+    }
+
+    #[test]
+    fn regions_are_distinct_and_named() {
+        let a = region("table");
+        let b = region("table");
+        assert_ne!(a, b);
+        assert_eq!(region_name(a), "table");
+        assert_eq!(region_name(b), "table");
+    }
+}

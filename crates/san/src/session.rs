@@ -1,0 +1,634 @@
+//! A sanitizer session: one `World::run`'s worth of dynamic checking.
+//!
+//! The session owns three checkers, all exact because every "rank" is a
+//! thread of this process observing one shared logical clock space:
+//!
+//! * **Race table** — FastTrack-style happens-before checking over
+//!   annotated regions: each region keeps its last write epoch and the
+//!   per-thread read set; an access that is not ordered after a prior
+//!   conflicting access by the vector-clock relation is a race (R1).
+//! * **Collective ledger** — MUST-style matching: the i-th collective
+//!   of every rank must carry the same (call site, kind, element type,
+//!   element size, root) signature. The first arriver at position i
+//!   records the signature; later ranks compare (Q1).
+//! * **Wait graph** — every blocking receive declares what it waits on;
+//!   a rank whose receive times out walks the graph, and a cycle (or a
+//!   chain ending at an exited rank) whose members' logical progress
+//!   counters are frozen across three consecutive ticks is reported as
+//!   a deadlock (W1) instead of hanging the suite. Progress is logical,
+//!   not wall-clock, so `--chaos` comm-delay faults — which hold
+//!   messages until the sender's next transport op, never across a
+//!   blocked sender — cannot false-positive.
+//!
+//! Internals use `std::sync` directly, never the instrumented
+//! `hacc_rt::sync` wrappers, so the sanitizer cannot recurse into
+//! itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hacc_lint::diag::normalize;
+use hacc_lint::{Diagnostic, Rule};
+
+use crate::clock::VectorClock;
+use crate::registry::{region_name, RegionId};
+use crate::report::SanReport;
+
+/// Read or write, for [`crate::annotate_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Shared read.
+    Read,
+    /// Exclusive write.
+    Write,
+}
+
+/// Consecutive frozen deadlock-scan ticks required before reporting.
+/// Each tick is one receive timeout (~100 ms), so a false positive
+/// needs a runnable thread starved for the whole confirmation window.
+const DEADLOCK_CONFIRMS: u32 = 3;
+
+#[derive(Clone)]
+struct SiteStamp {
+    slot: usize,
+    time: u64,
+    file: &'static str,
+    line: u32,
+    kind: Access,
+}
+
+#[derive(Default)]
+struct RegionState {
+    last_write: Option<SiteStamp>,
+    reads: Vec<SiteStamp>,
+}
+
+struct CollSlot {
+    kind: &'static str,
+    elem: &'static str,
+    bytes: usize,
+    root: usize,
+    file: &'static str,
+    line: u32,
+    first_rank: usize,
+}
+
+impl CollSlot {
+    fn describe(&self) -> String {
+        format!(
+            "{}<{}> ({} B/elem, root {}) at {}:{}",
+            self.kind, self.elem, self.bytes, self.root, self.file, self.line
+        )
+    }
+}
+
+struct WaitOn {
+    src: usize,
+    detail: String,
+    file: &'static str,
+    line: u32,
+}
+
+#[derive(Default)]
+struct RankWait {
+    waiting: Option<WaitOn>,
+    progress: u64,
+    exited: bool,
+    /// Last deadlock-scan snapshot: (chain members, their progress).
+    candidate: Option<(Vec<usize>, Vec<u64>)>,
+    confirms: u32,
+}
+
+struct SessionState {
+    regions: BTreeMap<u64, RegionState>,
+    findings: Vec<Diagnostic>,
+    finding_keys: BTreeSet<String>,
+    coll_slots: Vec<CollSlot>,
+    coll_next: Vec<usize>,
+    waits: Vec<RankWait>,
+    accesses: u64,
+}
+
+/// One world's sanitizer context. Created by
+/// `hacc_ranks::World::run_sanitized`, shared by every rank thread.
+pub struct SanSession {
+    ranks: usize,
+    state: Mutex<SessionState>,
+    aborted: AtomicBool,
+}
+
+impl SanSession {
+    /// A fresh session for a world of `ranks` ranks.
+    pub fn new(ranks: usize) -> Arc<Self> {
+        Arc::new(Self {
+            ranks,
+            state: Mutex::new(SessionState {
+                regions: BTreeMap::new(),
+                findings: Vec::new(),
+                finding_keys: BTreeSet::new(),
+                coll_slots: Vec::new(),
+                coll_next: vec![0; ranks],
+                waits: (0..ranks).map(|_| RankWait::default()).collect(),
+                accesses: 0,
+            }),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    /// World size this session checks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a sanitizer-initiated abort is in flight (deadlock or
+    /// mismatch panic). Rank teardown uses this to tell sanitizer
+    /// aborts from genuine user panics.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Mark the session aborted; returns true for the first caller so
+    /// exactly one rank owns the teardown.
+    pub fn set_aborted(&self) -> bool {
+        !self.aborted.swap(true, Ordering::SeqCst)
+    }
+
+    /// Record a finding, deduplicated by `key`.
+    pub fn report(&self, rule: Rule, file: &str, line: u32, message: String, key: String) {
+        let mut st = self.lock();
+        if st.finding_keys.insert(key) {
+            st.findings.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    }
+
+    /// Whether any findings have been recorded so far.
+    pub fn has_findings(&self) -> bool {
+        !self.lock().findings.is_empty()
+    }
+
+    // ------------------------------------------------------------ race --
+
+    pub(crate) fn access(
+        &self,
+        region: RegionId,
+        kind: Access,
+        slot: usize,
+        clock: &VectorClock,
+        loc: &'static Location<'static>,
+    ) {
+        let here = SiteStamp {
+            slot,
+            time: clock.get(slot),
+            file: loc.file(),
+            line: loc.line(),
+            kind,
+        };
+        let mut races: Vec<SiteStamp> = Vec::new();
+        let mut st = self.lock();
+        st.accesses += 1;
+        let rs = st.regions.entry(region.0).or_default();
+        match kind {
+            Access::Write => {
+                if let Some(w) = &rs.last_write {
+                    if w.slot != slot && !clock.observed(w.slot, w.time) {
+                        races.push(w.clone());
+                    }
+                }
+                for r in &rs.reads {
+                    if r.slot != slot && !clock.observed(r.slot, r.time) {
+                        races.push(r.clone());
+                    }
+                }
+                rs.last_write = Some(here.clone());
+                rs.reads.clear();
+            }
+            Access::Read => {
+                if let Some(w) = &rs.last_write {
+                    if w.slot != slot && !clock.observed(w.slot, w.time) {
+                        races.push(w.clone());
+                    }
+                }
+                if let Some(r) = rs.reads.iter_mut().find(|r| r.slot == slot) {
+                    r.time = here.time;
+                    r.file = here.file;
+                    r.line = here.line;
+                } else {
+                    rs.reads.push(here.clone());
+                }
+            }
+        }
+        drop(st);
+        let verb = |k: Access| match k {
+            Access::Read => "read",
+            Access::Write => "write",
+        };
+        for prior in races {
+            self.report(
+                Rule::R1,
+                here.file,
+                here.line,
+                format!(
+                    "data race on region `{}`: this {} and the {} at {}:{} \
+                     are unordered by happens-before",
+                    region_name(region),
+                    verb(here.kind),
+                    verb(prior.kind),
+                    prior.file,
+                    prior.line
+                ),
+                format!(
+                    "R1:{}:{}:{}:{}:{}",
+                    region.0, here.file, here.line, prior.file, prior.line
+                ),
+            );
+        }
+    }
+
+    // ------------------------------------------------------ collectives --
+
+    /// Record that `rank` entered a collective with the given signature;
+    /// flags sequence/signature divergence against earlier arrivers.
+    pub fn record_collective(
+        &self,
+        rank: usize,
+        kind: &'static str,
+        elem: &'static str,
+        bytes: usize,
+        root: usize,
+        loc: &'static Location<'static>,
+    ) {
+        let mut st = self.lock();
+        let idx = st.coll_next[rank];
+        st.coll_next[rank] += 1;
+        if idx == st.coll_slots.len() {
+            st.coll_slots.push(CollSlot {
+                kind,
+                elem,
+                bytes,
+                root,
+                file: loc.file(),
+                line: loc.line(),
+                first_rank: rank,
+            });
+            return;
+        }
+        let slot = &st.coll_slots[idx];
+        let matches = slot.kind == kind
+            && slot.elem == elem
+            && slot.bytes == bytes
+            && slot.root == root
+            && slot.file == loc.file()
+            && slot.line == loc.line();
+        if !matches {
+            let msg = format!(
+                "collective sequence diverged at position {idx}: rank {} \
+                 entered {} but rank {rank} entered {}<{}> ({} B/elem, \
+                 root {}) at {}:{}",
+                slot.first_rank,
+                slot.describe(),
+                kind,
+                elem,
+                bytes,
+                root,
+                loc.file(),
+                loc.line()
+            );
+            let (file, line) = (loc.file(), loc.line());
+            drop(st);
+            self.report(Rule::Q1, file, line, msg, format!("Q1:seq:{idx}:{rank}"));
+        }
+    }
+
+    // ------------------------------------------------------- wait graph --
+
+    /// Declare that `rank` is about to block waiting for a message from
+    /// `src`; `detail` is the human description used in deadlock dumps.
+    pub fn begin_wait(
+        &self,
+        rank: usize,
+        src: usize,
+        detail: String,
+        loc: &'static Location<'static>,
+    ) {
+        let mut st = self.lock();
+        let w = &mut st.waits[rank];
+        w.waiting = Some(WaitOn {
+            src,
+            detail,
+            file: loc.file(),
+            line: loc.line(),
+        });
+        w.candidate = None;
+        w.confirms = 0;
+    }
+
+    /// The wait was satisfied: clear it and advance logical progress.
+    pub fn end_wait(&self, rank: usize) {
+        let mut st = self.lock();
+        let w = &mut st.waits[rank];
+        w.waiting = None;
+        w.candidate = None;
+        w.confirms = 0;
+        w.progress += 1;
+    }
+
+    /// A non-blocking transport op completed on `rank` (logical time).
+    pub fn note_progress(&self, rank: usize) {
+        self.lock().waits[rank].progress += 1;
+    }
+
+    /// The rank's closure returned; it will never send again.
+    pub fn rank_exited(&self, rank: usize) {
+        let mut st = self.lock();
+        st.waits[rank].exited = true;
+        st.waits[rank].waiting = None;
+    }
+
+    /// One deadlock-scan tick, run by a rank whose blocking receive
+    /// timed out. Returns `true` when a deadlock was confirmed and
+    /// recorded and this rank should abort the world.
+    pub fn deadlock_tick(&self, rank: usize) -> bool {
+        if self.is_aborted() {
+            return false;
+        }
+        let mut st = self.lock();
+        // Walk the wait-for edges starting from this rank.
+        let mut chain = vec![rank];
+        let mut stalled = false;
+        loop {
+            let cur = *chain.last().unwrap();
+            let Some(w) = &st.waits[cur].waiting else {
+                if st.waits[cur].exited {
+                    // Chain dead-ends at a rank that can never send.
+                    stalled = true;
+                    break;
+                }
+                // Someone in the chain is runnable: no deadlock now.
+                st.waits[rank].candidate = None;
+                st.waits[rank].confirms = 0;
+                return false;
+            };
+            let next = w.src;
+            if chain.contains(&next) {
+                break; // cycle
+            }
+            chain.push(next);
+        }
+        let progress: Vec<u64> = chain.iter().map(|&r| st.waits[r].progress).collect();
+        let snapshot = (chain.clone(), progress);
+        let w = &mut st.waits[rank];
+        if w.candidate.as_ref() == Some(&snapshot) {
+            w.confirms += 1;
+        } else {
+            w.candidate = Some(snapshot);
+            w.confirms = 1;
+        }
+        if w.confirms < DEADLOCK_CONFIRMS {
+            return false;
+        }
+        // Confirmed: render one finding describing the whole chain, with
+        // per-rank call sites, anchored at the lowest-ranked waiter so
+        // the text is independent of which rank detected it.
+        let start = chain
+            .iter()
+            .position(|&r| r == *chain.iter().min().unwrap())
+            .unwrap();
+        let order: Vec<usize> = (0..chain.len())
+            .map(|i| chain[(start + i) % chain.len()])
+            .collect();
+        let mut parts: Vec<String> = Vec::new();
+        for &r in &order {
+            match &st.waits[r].waiting {
+                Some(w) => parts.push(format!(
+                    "rank {r} waits on rank {} ({}) at {}:{}",
+                    w.src, w.detail, w.file, w.line
+                )),
+                None => parts.push(format!("rank {r} exited")),
+            }
+        }
+        let what = if stalled {
+            "wait on an exited rank"
+        } else {
+            "deadlock cycle"
+        };
+        let anchor = st.waits[order[0]].waiting.as_ref();
+        let (file, line) = anchor
+            .map(|w| (w.file.to_string(), w.line))
+            .unwrap_or_else(|| ("crates/ranks/src/comm.rs".to_string(), 0));
+        let mut key_members = chain.clone();
+        key_members.sort_unstable();
+        drop(st);
+        self.report(
+            Rule::W1,
+            &file,
+            line,
+            format!(
+                "{what} confirmed (logical progress frozen over \
+                 {DEADLOCK_CONFIRMS} ticks): {}",
+                parts.join("; ")
+            ),
+            format!("W1:{key_members:?}"),
+        );
+        self.set_aborted();
+        true
+    }
+
+    // ----------------------------------------------------------- finish --
+
+    /// End-of-world checks and report assembly. Call after every rank
+    /// thread has been joined.
+    pub fn finish(&self) -> SanReport {
+        let mut st = self.lock();
+        // Collective-count divergence: every rank must have executed the
+        // same number of collectives (signature equality at each position
+        // was already checked on entry).
+        let min = st.coll_next.iter().copied().min().unwrap_or(0);
+        let max = st.coll_next.iter().copied().max().unwrap_or(0);
+        if min != max {
+            let lo = st.coll_next.iter().position(|&n| n == min).unwrap();
+            let hi = st.coll_next.iter().position(|&n| n == max).unwrap();
+            let (file, line, describe) = match st.coll_slots.get(min) {
+                Some(s) => (s.file.to_string(), s.line, s.describe()),
+                None => ("crates/ranks/src/comm.rs".to_string(), 0, String::new()),
+            };
+            let msg = format!(
+                "collective count diverged: rank {lo} executed {min} \
+                 collective(s) but rank {hi} executed {max}; first \
+                 unmatched: {describe}"
+            );
+            if st.finding_keys.insert("Q1:count".to_string()) {
+                st.findings.push(Diagnostic {
+                    file,
+                    line,
+                    rule: Rule::Q1,
+                    message: msg,
+                });
+            }
+        }
+        SanReport {
+            ranks: self.ranks,
+            findings: normalize(std::mem::take(&mut st.findings)),
+            suppressed: 0,
+            collectives: st.coll_slots.len() as u64,
+            regions: st.regions.len() as u64,
+            accesses: st.accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::region;
+
+    fn loc() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    #[test]
+    fn matching_collectives_are_clean() {
+        let s = SanSession::new(2);
+        let site = loc();
+        for rank in 0..2 {
+            s.record_collective(rank, "barrier", "()", 0, 0, site);
+            s.record_collective(rank, "all_gather", "u64", 8, 0, site);
+        }
+        let r = s.finish();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.collectives, 2);
+    }
+
+    #[test]
+    fn signature_divergence_is_q1() {
+        let s = SanSession::new(2);
+        let site = loc();
+        s.record_collective(0, "barrier", "()", 0, 0, site);
+        s.record_collective(1, "broadcast", "u32", 4, 0, site);
+        let r = s.finish();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::Q1);
+        assert!(r.findings[0].message.contains("barrier"));
+        assert!(r.findings[0].message.contains("broadcast"));
+    }
+
+    #[test]
+    fn count_divergence_is_q1() {
+        let s = SanSession::new(2);
+        let site = loc();
+        s.record_collective(0, "barrier", "()", 0, 0, site);
+        let r = s.finish();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::Q1);
+        assert!(r.findings[0].message.contains("count diverged"));
+    }
+
+    #[test]
+    fn unordered_writes_race() {
+        let s = SanSession::new(2);
+        let reg = region("fixture");
+        let mut c0 = VectorClock::new();
+        c0.set(10, 1);
+        let mut c1 = VectorClock::new();
+        c1.set(11, 1);
+        s.access(reg, Access::Write, 10, &c0, loc());
+        s.access(reg, Access::Write, 11, &c1, loc());
+        let r = s.finish();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::R1);
+        assert!(r.findings[0].message.contains("fixture"));
+    }
+
+    #[test]
+    fn ordered_writes_are_clean() {
+        let s = SanSession::new(2);
+        let reg = region("fixture");
+        let mut c0 = VectorClock::new();
+        c0.set(10, 1);
+        s.access(reg, Access::Write, 10, &c0, loc());
+        // Thread 11 has observed thread 10's epoch (joined its clock).
+        let mut c1 = VectorClock::new();
+        c1.set(11, 1);
+        c1.join(&c0);
+        s.access(reg, Access::Write, 11, &c1, loc());
+        assert!(s.finish().findings.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let s = SanSession::new(2);
+        let reg = region("fixture");
+        let mut c0 = VectorClock::new();
+        c0.set(10, 1);
+        let mut c1 = VectorClock::new();
+        c1.set(11, 1);
+        s.access(reg, Access::Read, 10, &c0, loc());
+        s.access(reg, Access::Read, 11, &c1, loc());
+        assert!(s.finish().findings.is_empty());
+    }
+
+    #[test]
+    fn deadlock_cycle_confirms_after_frozen_ticks() {
+        let s = SanSession::new(2);
+        s.begin_wait(0, 1, "recv(src=1, tag=9)".into(), loc());
+        s.begin_wait(1, 0, "recv(src=0, tag=7)".into(), loc());
+        assert!(!s.deadlock_tick(0));
+        assert!(!s.deadlock_tick(0));
+        assert!(s.deadlock_tick(0));
+        let r = s.finish();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, Rule::W1);
+        assert!(r.findings[0].message.contains("rank 0 waits on rank 1"));
+        assert!(r.findings[0].message.contains("rank 1 waits on rank 0"));
+    }
+
+    #[test]
+    fn progress_resets_deadlock_confirmation() {
+        let s = SanSession::new(2);
+        s.begin_wait(0, 1, "recv".into(), loc());
+        s.begin_wait(1, 0, "recv".into(), loc());
+        assert!(!s.deadlock_tick(0));
+        assert!(!s.deadlock_tick(0));
+        // Rank 1's wait is satisfied and it re-blocks: logical progress
+        // moved, so the scan starts over.
+        s.end_wait(1);
+        s.begin_wait(1, 0, "recv".into(), loc());
+        assert!(!s.deadlock_tick(0));
+        assert!(!s.deadlock_tick(0));
+        assert!(s.deadlock_tick(0));
+    }
+
+    #[test]
+    fn runnable_rank_blocks_no_deadlock() {
+        let s = SanSession::new(2);
+        s.begin_wait(0, 1, "recv".into(), loc());
+        // Rank 1 is computing (no wait declared): never a deadlock.
+        for _ in 0..10 {
+            assert!(!s.deadlock_tick(0));
+        }
+        assert!(s.finish().findings.is_empty());
+    }
+
+    #[test]
+    fn wait_on_exited_rank_is_a_stall() {
+        let s = SanSession::new(2);
+        s.rank_exited(1);
+        s.begin_wait(0, 1, "recv(src=1, tag=3)".into(), loc());
+        assert!(!s.deadlock_tick(0));
+        assert!(!s.deadlock_tick(0));
+        assert!(s.deadlock_tick(0));
+        let r = s.finish();
+        assert_eq!(r.findings[0].rule, Rule::W1);
+        assert!(r.findings[0].message.contains("exited"));
+    }
+}

@@ -52,6 +52,10 @@ pub struct TelemetryReport {
     pub attempts: u64,
     /// Rollbacks to a valid checkpoint the supervisor performed.
     pub rollbacks: u64,
+    /// Sanitizer summary lines (empty unless the run was sanitized).
+    /// Golden: hacc-san's checks are deterministic for a fixed seed, so
+    /// the summary is byte-identical run to run.
+    pub sanitizer: Vec<String>,
 }
 
 /// Escape a string for a JSON literal (names are ASCII identifiers, but
@@ -121,6 +125,9 @@ impl TelemetryReport {
         let _ = writeln!(w, "ledger_steps = {}", self.ledger.len());
         let _ = writeln!(w, "attempts = {}", self.attempts);
         let _ = writeln!(w, "rollbacks = {}", self.rollbacks);
+        for line in &self.sanitizer {
+            let _ = writeln!(w, "{line}");
+        }
         let _ = writeln!(w);
 
         let _ = writeln!(
@@ -285,6 +292,7 @@ mod tests {
             wall_phases: vec![("misc".into(), if sleep { 0.5 } else { 0.25 })],
             attempts: 1,
             rollbacks: 0,
+            sanitizer: Vec::new(),
         }
     }
 

@@ -132,4 +132,39 @@ cmp "$tdir/chaos-golden-a.txt" "$tdir/chaos-golden-b.txt" || {
 }
 echo "ok: all fault plans recovered to the reference state hash"
 
+echo "== tier 4: hacc-san dynamic sanitizer gate =="
+# The whole release suite again with the sanitizer armed on every
+# World::run (HACC_SAN=1): happens-before race detection, MUST-style
+# collective matching, and wait-graph deadlock detection, all live.
+# Justified suppressions come from the checked-in san.allow.
+HACC_SAN=1 HACC_SAN_ALLOW="$PWD/san.allow" cargo test --release -q --offline
+# Gate self-test: the armed gate must FAIL on the seeded canary race
+# (an `#[ignore]`d fixture only this gate runs). If it passes, the
+# sanitizer has silently lost its teeth.
+if HACC_SAN=1 cargo test --release -q --offline --test sanitizer \
+    canary_seeded_race_must_fail -- --ignored > /dev/null 2>&1; then
+    echo "error: sanitizer gate missed the seeded canary race" >&2
+    exit 1
+fi
+# Clean sanitized CLI runs at every test-tier rank count; the sanitizer
+# report must be finding-free and byte-identical run to run.
+for ranks in 1 2 4 8; do
+    for run in a b; do
+        ./target/release/frontier-sim run \
+            --np 8 --ranks "$ranks" --steps 2 --physics gravity --seed 4242 \
+            --sanitize --telemetry "$tdir/san-r$ranks-$run" \
+            > /dev/null
+    done
+    grep -q '^findings            : 0$' "$tdir/san-r$ranks-a/sanitizer.txt" || {
+        echo "error: sanitized $ranks-rank run is not clean:" >&2
+        cat "$tdir/san-r$ranks-a/sanitizer.txt" >&2
+        exit 1
+    }
+    cmp "$tdir/san-r$ranks-a/sanitizer.txt" "$tdir/san-r$ranks-b/sanitizer.txt" || {
+        echo "error: sanitizer reports differ between identical $ranks-rank runs" >&2
+        exit 1
+    }
+done
+echo "ok: armed suite clean, canary caught, 1/2/4/8-rank reports byte-stable"
+
 echo "verify.sh: all checks passed"

@@ -16,6 +16,7 @@ pub use hacc_grav as grav;
 pub use hacc_iosim as iosim;
 pub use hacc_mesh as mesh;
 pub use hacc_ranks as ranks;
+pub use hacc_san as san;
 pub use hacc_sph as sph;
 pub use hacc_subgrid as subgrid;
 pub use hacc_swfft as swfft;

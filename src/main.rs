@@ -3,7 +3,7 @@
 //! ```text
 //! frontier-sim run   [--np N] [--ranks R] [--steps S] [--physics hydro|adiabatic|gravity]
 //!                    [--zi Z] [--zf Z] [--seed S] [--out DIR] [--flat] [--resume]
-//!                    [--telemetry DIR] [--chaos SPEC]
+//!                    [--telemetry DIR] [--chaos SPEC] [--sanitize]
 //! frontier-sim scaling [--ranks-max R]
 //! frontier-sim lint  [--root DIR] [--allow FILE] [--json]
 //! frontier-sim info
@@ -40,6 +40,9 @@ fn main() {
                  \x20                 SPEC = site@step:rank,... | auto@N with sites\n\
                  \x20                 panic comm-delay comm-dup comm-trunc ckpt-torn\n\
                  \x20                 ckpt-crc nvme-err gpu-launch\n\
+                 \x20 --sanitize      run under the hacc-san dynamic sanitizer\n\
+                 \x20                 (races, collective matching, deadlock); findings\n\
+                 \x20                 honor <root>/san.allow and exit 1 when unsuppressed\n\
                  \n\
                  scaling options:\n\
                  \x20 --ranks-max R   largest rank count in the sweep (default 4)\n\
@@ -105,6 +108,13 @@ fn cmd_run(args: &[String]) {
     if !chaos.is_empty() {
         cfg.chaos = Some(chaos);
     }
+    cfg.sanitize = parse_flag(args, "--sanitize");
+    if cfg.sanitize && (cfg.chaos.is_some() || parse_flag(args, "--resume")) {
+        // The supervised-rollback and resume paths run plain worlds; arm
+        // them with HACC_SAN=1 instead of the flag.
+        eprintln!("--sanitize combines with neither --chaos nor --resume (use HACC_SAN=1)");
+        std::process::exit(2);
+    }
 
     println!(
         "frontier-sim: {} particles, {:.0} Mpc/h box, {} PM steps, z = {:.1} -> {:.1}, {} ranks",
@@ -116,7 +126,7 @@ fn cmd_run(args: &[String]) {
         ranks
     );
     let t0 = std::time::Instant::now();
-    let report = if parse_flag(args, "--resume") {
+    let mut report = if parse_flag(args, "--resume") {
         if cfg.io_dir.is_none() {
             eprintln!("--resume requires --out DIR");
             std::process::exit(2);
@@ -128,6 +138,24 @@ fn cmd_run(args: &[String]) {
         run_supervised(&cfg, ranks)
     };
     let wall = t0.elapsed().as_secs_f64();
+
+    // Partition sanitizer findings through <workspace>/san.allow before
+    // anything renders, so the console summary, the telemetry golden
+    // lines, and sanitizer.txt all agree on the suppressed count.
+    if let Some(san) = &mut report.sanitizer {
+        let root = frontier_sim::lint::find_workspace_root(std::path::Path::new("."));
+        let allow_path = root.map(|r| r.join("san.allow"));
+        if let Some(path) = allow_path.filter(|p| p.is_file()) {
+            let text = std::fs::read_to_string(&path).expect("read san.allow");
+            let mut allow = frontier_sim::lint::AllowList::parse(&text, &path.to_string_lossy())
+                .unwrap_or_else(|e| {
+                    eprintln!("san.allow: {e}");
+                    std::process::exit(2);
+                });
+            san.apply_allow(&mut allow);
+        }
+        report.telemetry.sanitizer = san.golden_lines();
+    }
 
     let telemetry_dir: String = parse_opt(args, "--telemetry", String::new());
     if !telemetry_dir.is_empty() {
@@ -142,6 +170,19 @@ fn cmd_run(args: &[String]) {
             dir.join("trace.json").display(),
             dir.join("report.txt").display()
         );
+        if let Some(san) = &report.sanitizer {
+            std::fs::write(dir.join("sanitizer.txt"), san.render_text())
+                .expect("write sanitizer.txt");
+            std::fs::write(
+                dir.join("sanitizer.json"),
+                frontier_sim::lint::diag::render_json(&san.findings, san.suppressed),
+            )
+            .expect("write sanitizer.json");
+            println!(
+                "telemetry: wrote {} (+ .json)",
+                dir.join("sanitizer.txt").display()
+            );
+        }
     }
 
     println!("\ncompleted {} step(s) in {wall:.1} s", report.steps.len());
@@ -216,6 +257,15 @@ fn cmd_run(args: &[String]) {
     }
     if let Some(x) = report.xi.first() {
         println!("  xi(r={:.2})        : {:.3}", x.r, x.xi);
+    }
+    if let Some(san) = &report.sanitizer {
+        println!("\nsanitizer:");
+        for line in san.render_text().lines() {
+            println!("  {line}");
+        }
+        if !san.is_clean() {
+            std::process::exit(1);
+        }
     }
 }
 

@@ -1,12 +1,19 @@
 //! Criterion microbenchmarks of the hot kernels: serial/distributed FFT,
 //! CIC deposit, tree build, the CRKSPH pipeline, FOF, and CRC32 — the
 //! per-component performance baseline behind every figure.
+//!
+//! The `short_range_symmetric` group times the tiled symmetric leaf
+//! executors against the pre-fix one-sided reference over identical
+//! interaction lists, emits `*_pairs_per_s` / `*_speedup` metrics
+//! through [`hacc_bench::baseline`], and (under the tier-5 ratchet)
+//! asserts the headline >= 2x win the symmetric-tile fix claims.
 
 use hacc_rt::bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hacc_bench::{sph_workload, uniform_cloud};
-use hacc_gpusim::{DeviceSpec, ExecMode};
+use hacc_bench::{baseline, sph_workload, uniform_cloud, workloads};
+use hacc_gpusim::{DeviceSpec, ExecMode, SplitKernel};
 use hacc_swfft::{Complex64, FftPlan};
 use hacc_tree::{ChainingMesh, CmConfig};
+use std::time::Instant;
 
 fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft_1d");
@@ -99,6 +106,79 @@ fn bench_fof(c: &mut Criterion) {
     g.finish();
 }
 
+/// Time repeated sweeps of one workload arm until `min_time` has been
+/// spent measuring, returning pairs/second. Self-timed (not through
+/// `Bencher`) so the pair count from the counters and the wall time come
+/// from the same sweeps.
+fn pairs_per_s<K: SplitKernel>(
+    w: &workloads::ShortRangeWorkload<K>,
+    reference: bool,
+    min_time_s: f64,
+) -> (f64, u64)
+where
+    K::Accum: Default + Clone,
+{
+    // Warmup sweep (also the pair count — identical every sweep).
+    let pairs = black_box(w.run(reference)).pairs;
+    let mut sweeps = 0u32;
+    let t = Instant::now();
+    let mut elapsed;
+    loop {
+        black_box(w.run(reference));
+        sweeps += 1;
+        elapsed = t.elapsed().as_secs_f64();
+        if elapsed >= min_time_s {
+            break;
+        }
+    }
+    (pairs as f64 * sweeps as f64 / elapsed, pairs)
+}
+
+fn bench_short_range_symmetric(_c: &mut Criterion) {
+    // Fixed measurement budget per arm: long enough for stable pairs/sec
+    // (the ratchet tolerance is 15%), short enough for the verify gate.
+    // Deliberately ignores HACC_RT_BENCH_FAST so blessed baselines and
+    // ratchet runs always measure at the same budget.
+    let min_t = 0.3;
+    let n = 20_000;
+    let grav = workloads::grav_workload(n, 11);
+    let force = workloads::crk_force_workload(n, 11);
+
+    let (grav_tiled, gp) = pairs_per_s(&grav, false, min_t);
+    let (grav_ref, _) = pairs_per_s(&grav, true, min_t);
+    let (force_tiled, fp) = pairs_per_s(&force, false, min_t);
+    let (force_ref, _) = pairs_per_s(&force, true, min_t);
+    let grav_speedup = grav_tiled / grav_ref;
+    let force_speedup = force_tiled / force_ref;
+
+    println!(
+        "bench  short_range_symmetric/grav ({gp} pairs): tiled {:.3e} pairs/s, reference {:.3e} pairs/s, speedup {grav_speedup:.2}x",
+        grav_tiled, grav_ref
+    );
+    println!(
+        "bench  short_range_symmetric/crk_force ({fp} pairs): tiled {:.3e} pairs/s, reference {:.3e} pairs/s, speedup {force_speedup:.2}x",
+        force_tiled, force_ref
+    );
+
+    baseline::record(&[
+        ("short_range_grav_tiled_pairs_per_s", grav_tiled),
+        ("short_range_grav_reference_pairs_per_s", grav_ref),
+        ("short_range_grav_symmetric_speedup", grav_speedup),
+        ("short_range_crk_force_tiled_pairs_per_s", force_tiled),
+        ("short_range_crk_force_reference_pairs_per_s", force_ref),
+        ("short_range_crk_force_symmetric_speedup", force_speedup),
+    ]);
+
+    // Acceptance: the headline short-range kernel must hold its measured
+    // >= 2x win whenever the ratchet gate is armed.
+    if baseline::ratchet_mode() {
+        assert!(
+            force_speedup >= 2.0,
+            "crk_force symmetric speedup {force_speedup:.2}x fell below the 2x acceptance line"
+        );
+    }
+}
+
 fn bench_crc32(c: &mut Criterion) {
     let data = vec![0xABu8; 1 << 20];
     c.bench_function("crc32_1MiB", |b| {
@@ -111,6 +191,7 @@ criterion_group!(
     bench_fft,
     bench_tree_build,
     bench_sph_pipeline,
+    bench_short_range_symmetric,
     bench_fof,
     bench_crc32
 );

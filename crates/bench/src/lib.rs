@@ -9,6 +9,9 @@
 use hacc_core::{run_simulation, Physics, SimConfig, SimReport};
 use hacc_gpusim::{DeviceSpec, ExecMode, KernelCounters};
 
+pub mod baseline;
+pub mod workloads;
+
 /// Print a formatted table with a title.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -1,0 +1,260 @@
+//! Prepared short-range leaf-pair workloads for the symmetric-kernel
+//! microbenchmarks.
+//!
+//! These drive the `hacc-gpusim` leaf executors directly — the same call
+//! pattern as `grav_step` / `sph_step`, minus the surrounding pipeline —
+//! so the tiled symmetric path and the one-sided reference path can be
+//! timed head to head over identical interaction lists. The tiled and
+//! reference paths produce bitwise identical accumulators (asserted in
+//! the `gpusim`, `grav`, and `sph` unit tests); here only the throughput
+//! differs.
+
+use hacc_gpusim::{
+    execute_leaf_pair, execute_leaf_pair_reference, execute_leaf_self,
+    execute_leaf_self_reference, DeviceSpec, ExecMode, KernelCounters, SplitKernel,
+};
+use hacc_grav::{ForceSplitTable, GravState, GravityKernel};
+use hacc_sph::hydro::{ForceKernel, ForceState, HydroOptions};
+use hacc_sph::{CrkCorrections, CubicSpline};
+use hacc_tree::{ChainingMesh, CmConfig, LeafId};
+
+/// One interaction sweep over every leaf pair of `cm`. `reference`
+/// selects the pre-fix one-sided executors (each unordered pair
+/// evaluated twice) instead of the tiled symmetric ones.
+pub fn sweep<K: SplitKernel>(
+    kernel: &K,
+    device: &DeviceSpec,
+    mode: ExecMode,
+    cm: &ChainingMesh,
+    pairs: &[(LeafId, LeafId)],
+    states: &[K::State],
+    accums: &mut [K::Accum],
+    reference: bool,
+) -> KernelCounters {
+    let mut counters = KernelCounters::default();
+    for &(a, b) in pairs {
+        let ra = cm.leaves[a as usize].range();
+        if a == b {
+            let (_, tail) = accums.split_at_mut(ra.start);
+            let acc = &mut tail[..ra.len()];
+            if reference {
+                execute_leaf_self_reference(kernel, device, mode, &states[ra], acc, &mut counters);
+            } else {
+                execute_leaf_self(kernel, device, mode, &states[ra], acc, &mut counters);
+            }
+        } else {
+            let rb = cm.leaves[b as usize].range();
+            let (left, right) = accums.split_at_mut(rb.start);
+            let (ai, aj) = (&mut left[ra.clone()], &mut right[..rb.len()]);
+            if reference {
+                execute_leaf_pair_reference(
+                    kernel,
+                    device,
+                    mode,
+                    &states[ra],
+                    &states[rb.clone()],
+                    ai,
+                    aj,
+                    &mut counters,
+                );
+            } else {
+                execute_leaf_pair(
+                    kernel,
+                    device,
+                    mode,
+                    &states[ra],
+                    &states[rb.clone()],
+                    ai,
+                    aj,
+                    &mut counters,
+                );
+            }
+        }
+    }
+    counters
+}
+
+/// A short-range workload frozen at construction: particle states in
+/// tree order plus the interaction list, ready for repeated sweeps.
+pub struct ShortRangeWorkload<K: SplitKernel> {
+    /// The kernel under test.
+    pub kernel: K,
+    /// Simulated device (tile width = its half-warp).
+    pub device: DeviceSpec,
+    /// Chaining mesh over the cloud.
+    pub cm: ChainingMesh,
+    /// Leaf interaction list at the cutoff.
+    pub pairs: Vec<(LeafId, LeafId)>,
+    /// Per-particle states in tree (slot) order.
+    pub states: Vec<K::State>,
+}
+
+impl<K: SplitKernel> ShortRangeWorkload<K> {
+    /// Run one sweep, returning the counters (`counters.pairs` is the
+    /// pair-evaluation count the throughput metric divides by).
+    pub fn run(&self, reference: bool) -> KernelCounters
+    where
+        K::Accum: Default + Clone,
+    {
+        let mut accums = vec![K::Accum::default(); self.states.len()];
+        sweep(
+            &self.kernel,
+            &self.device,
+            ExecMode::WarpSplit,
+            &self.cm,
+            &self.pairs,
+            &self.states,
+            &mut accums,
+            reference,
+        )
+    }
+}
+
+fn build_mesh(pos: &[[f64; 3]], extent: f64, cutoff: f64) -> ChainingMesh {
+    // Bins exactly at the cutoff: the production geometry, and the
+    // tightest leaf AABB pruning the locality guarantee allows.
+    ChainingMesh::build(
+        pos,
+        [0.0; 3],
+        [extent; 3],
+        &CmConfig {
+            bin_width: cutoff.max(1e-3),
+            max_leaf: 128,
+        },
+    )
+}
+
+/// Short-range gravity over a uniform cloud: `n` particles, unit masses,
+/// split scale sized so each particle sees a few hundred neighbors.
+pub fn grav_workload(n: usize, seed: u64) -> ShortRangeWorkload<GravityKernel> {
+    let extent = (n as f64).cbrt();
+    let pos = crate::uniform_cloud(n, extent, seed);
+    let split_scale = extent / 16.0;
+    let table = ForceSplitTable::new(split_scale, 0.1 * split_scale, 8192);
+    let cutoff = table.r_cut();
+    let cm = build_mesh(&pos, extent, cutoff);
+    let pairs = cm.interaction_pairs(cutoff, None);
+    let states = cm
+        .order
+        .iter()
+        .map(|&i| GravState {
+            pos: pos[i as usize],
+            mass: 1.0,
+        })
+        .collect();
+    ShortRangeWorkload {
+        kernel: GravityKernel { table },
+        device: DeviceSpec::mi250x_gcd(),
+        cm,
+        pairs,
+        states,
+    }
+}
+
+/// The CRKSPH force kernel over a uniform gas cloud with mixed
+/// velocities (so both viscosity branches execute) and uniform `h`.
+pub fn crk_force_workload(n: usize, seed: u64) -> ShortRangeWorkload<ForceKernel<CubicSpline>> {
+    use hacc_rt::rand::{self, Rng, SeedableRng};
+    let extent = (n as f64).cbrt();
+    let pos = crate::uniform_cloud(n, extent, seed);
+    let spacing = extent / (n as f64).cbrt();
+    let h = 1.3 * spacing;
+    let cutoff = 2.0 * h;
+    let cm = build_mesh(&pos, extent, cutoff);
+    let pairs = cm.interaction_pairs(cutoff, None);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let states = cm
+        .order
+        .iter()
+        .map(|&i| {
+            let mut v = [0.0f64; 3];
+            for d in &mut v {
+                *d = rng.gen_range(-1.0..1.0);
+            }
+            ForceState {
+                pos: pos[i as usize],
+                vel: v,
+                h,
+                p: rng.gen_range(0.5..2.0),
+                rho: 1.0,
+                cs: rng.gen_range(1.0..3.0),
+                vol: 1.0,
+                balsara: 1.0,
+                corr: CrkCorrections {
+                    a: 1.0,
+                    b: [0.01, -0.02, 0.005],
+                },
+            }
+        })
+        .collect();
+    ShortRangeWorkload {
+        kernel: ForceKernel {
+            kernel: CubicSpline,
+            opts: HydroOptions::default(),
+        },
+        device: DeviceSpec::mi250x_gcd(),
+        cm,
+        pairs,
+        states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual timing probe: cargo test --release -p hacc-bench -- --ignored dense"]
+    fn dense_in_support_timing_probe() {
+        // All-pairs-in-support geometry: isolates the in-support cost
+        // ratio of the symmetric vs reference crk_force paths.
+        let mut w = crk_force_workload(4_096, 3);
+        let extent = 16.0f64;
+        let pos = crate::uniform_cloud(4_096, extent, 3);
+        let h = extent; // support 2h covers the whole box
+        let cm = build_mesh(&pos, extent, 2.0 * h);
+        let pairs = cm.interaction_pairs(2.0 * h, None);
+        let mut states: Vec<ForceState> = Vec::new();
+        for (s, &i) in w.states.iter().zip(cm.order.iter()) {
+            let mut st = *s;
+            st.pos = pos[i as usize];
+            st.h = h;
+            states.push(st);
+        }
+        w.cm = cm;
+        w.pairs = pairs;
+        w.states = states;
+        for reference in [false, true] {
+            let t = std::time::Instant::now();
+            let c = w.run(reference);
+            let el = t.elapsed().as_secs_f64();
+            println!(
+                "dense {} pairs={} {:.1} ns/pair",
+                if reference { "reference" } else { "tiled" },
+                c.pairs,
+                el / c.pairs as f64 * 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn grav_workload_credits_identical_pairs_both_paths() {
+        // Both paths are credited the same unordered-pair count — the
+        // pre-fix bug was doing 2x the *work* per credited pair, so the
+        // throughput ratio of the two arms is exactly the speedup.
+        let w = grav_workload(2_000, 7);
+        let tiled = w.run(false);
+        let refr = w.run(true);
+        assert!(tiled.pairs > 0);
+        assert_eq!(refr.pairs, tiled.pairs);
+    }
+
+    #[test]
+    fn crk_force_workload_credits_identical_pairs_both_paths() {
+        let w = crk_force_workload(2_000, 7);
+        let tiled = w.run(false);
+        let refr = w.run(true);
+        assert!(tiled.pairs > 0);
+        assert_eq!(refr.pairs, tiled.pairs);
+    }
+}

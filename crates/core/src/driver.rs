@@ -142,6 +142,39 @@ pub struct SimReport {
 /// overload depth for the whole PM step.
 const H_CAP_SPACING: f64 = 1.75;
 
+/// Reusable SoA gather buffers for the per-kick hydro solve. The gas
+/// subset is re-gathered every kick (positions drift, `u`/`h` update),
+/// but the allocations are step-invariant, so they live outside the
+/// step loop.
+#[derive(Default)]
+struct GasGather {
+    pos: Vec<[f64; 3]>,
+    vpec: Vec<[f64; 3]>,
+    mass: Vec<f64>,
+    h: Vec<f64>,
+    u: Vec<f64>,
+}
+
+impl GasGather {
+    /// Refill from `store` at the gas indices; velocities are converted
+    /// to peculiar (`v / a`) on the way in.
+    fn gather(&mut self, store: &ParticleStore, gas_idx: &[usize], a: f64) {
+        self.pos.clear();
+        self.vpec.clear();
+        self.mass.clear();
+        self.h.clear();
+        self.u.clear();
+        for &i in gas_idx {
+            self.pos.push(store.pos[i]);
+            let v = store.vel[i];
+            self.vpec.push([v[0] / a, v[1] / a, v[2] / a]);
+            self.mass.push(store.mass[i]);
+            self.h.push(store.h[i]);
+            self.u.push(store.u[i]);
+        }
+    }
+}
+
 struct RankOutput {
     steps: Vec<StepRecord>,
     timers: Timers,
@@ -495,6 +528,20 @@ fn rank_main(
     let overload_width = cfg.overload_cells * cfg.cell_size();
     let mut vsig_prev: Vec<f64> = Vec::new();
 
+    // Short-range gravity configuration. Loop-invariant, and its embedded
+    // force-split table (8192 erf/exp evaluations) is built exactly once
+    // here instead of per grav_step call.
+    let grav_cfg = {
+        let mut g = GravConfig::new(G_NEWTON, cfg.split_scale(), softening);
+        g.device = cfg.device;
+        g.mode = cfg.exec_mode; // G itself is scaled by 1/a at kick time
+        g
+    };
+    // Per-step scratch reused across steps: gas index list and the SoA
+    // gather buffers handed to the hydro solver each kick.
+    let mut gas_idx: Vec<usize> = Vec::new();
+    let mut gas_gather = GasGather::default();
+
     // Sanitizer region for this rank's overload (ghost) buffer: the
     // exchange writes it once per step and the node-local solve reads
     // it. One region per rank — ghosts are rank-private, and the
@@ -542,13 +589,6 @@ fn rank_main(
         tracer.end(sp);
 
         // --- 3. chaining mesh + trees (once per PM step) ---
-        let grav_cfg = GravConfig {
-            g_newton: G_NEWTON, // scaled by 1/a at kick time
-            split_scale: cfg.split_scale(),
-            softening,
-            device: cfg.device,
-            mode: cfg.exec_mode,
-        };
         let r_cut = 7.0 * cfg.split_scale();
         // Smoothing lengths are clamped to H_CAP x spacing (below), so
         // the chaining-mesh bin width can be fixed for the whole step.
@@ -580,7 +620,7 @@ fn rank_main(
         tracer.end(sp);
 
         // --- rung assignment (gas CFL; collisionless on rung 0) ---
-        let gas_idx = store.indices_of_all(Species::Gas);
+        store.indices_of_all_into(Species::Gas, &mut gas_idx);
         for i in 0..store.len() {
             store.rung[i] = 0;
         }
@@ -625,7 +665,8 @@ fn rank_main(
             }
         }
         let mut stars_this_step = 0u64;
-        let kick_with_forces = |store: &mut ParticleStore,
+        let gas_gather = &mut gas_gather;
+        let mut kick_with_forces = |store: &mut ParticleStore,
                                     cm: &ChainingMesh,
                                     counters: &mut KernelCounters,
                                     profile: &mut ProfileTable,
@@ -668,24 +709,14 @@ fn rank_main(
             }
             // CRKSPH for the gas.
             if hydro && !gas_idx.is_empty() {
-                let pos: Vec<[f64; 3]> = gas_idx.iter().map(|&i| store.pos[i]).collect();
-                let vpec: Vec<[f64; 3]> = gas_idx
-                    .iter()
-                    .map(|&i| {
-                        let v = store.vel[i];
-                        [v[0] / a, v[1] / a, v[2] / a]
-                    })
-                    .collect();
-                let mass: Vec<f64> = gas_idx.iter().map(|&i| store.mass[i]).collect();
-                let hh: Vec<f64> = gas_idx.iter().map(|&i| store.h[i]).collect();
-                let uu: Vec<f64> = gas_idx.iter().map(|&i| store.u[i]).collect();
-                let gas_cm = ChainingMesh::build(&pos, dom_lo, dom_hi, &cm_cfg);
+                gas_gather.gather(store, &gas_idx, a);
+                let gas_cm = ChainingMesh::build(&gas_gather.pos, dom_lo, dom_hi, &cm_cfg);
                 let input = SphInput {
-                    pos: &pos,
-                    vel: &vpec,
-                    mass: &mass,
-                    h: &hh,
-                    u: &uu,
+                    pos: &gas_gather.pos,
+                    vel: &gas_gather.vpec,
+                    mass: &gas_gather.mass,
+                    h: &gas_gather.h,
+                    u: &gas_gather.u,
                 };
                 let r = sph_step(&input, &gas_cm, &sph_cfg);
                 counters.merge(&r.counters.merged());

@@ -132,6 +132,16 @@ impl ParticleStore {
         (0..self.len()).filter(|&i| self.species[i] == s).collect()
     }
 
+    /// Allocation-free variant of [`indices_of_all`]: clears `out` and
+    /// refills it, reusing its capacity. The per-step driver loop calls
+    /// this every PM step with a long-lived scratch vector.
+    ///
+    /// [`indices_of_all`]: ParticleStore::indices_of_all
+    pub fn indices_of_all_into(&self, s: Species, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.len()).filter(|&i| self.species[i] == s));
+    }
+
     /// Count owned particles of a species.
     pub fn count_owned(&self, s: Species) -> usize {
         self.species[..self.n_owned]
@@ -222,6 +232,11 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert_eq!(s.indices_of(Species::Gas), vec![1, 2], "owned only");
         assert_eq!(s.indices_of_all(Species::Gas), vec![1, 2, 3]);
+        let mut scratch = vec![7usize; 9]; // stale contents must be cleared
+        s.indices_of_all_into(Species::Gas, &mut scratch);
+        assert_eq!(scratch, vec![1, 2, 3]);
+        s.indices_of_all_into(Species::DarkMatter, &mut scratch);
+        assert_eq!(scratch, vec![0]);
         s.truncate_to_owned();
         assert_eq!(s.len(), 3);
     }

@@ -2,9 +2,16 @@
 //!
 //! A kernel is expressed in the separable form of Eq. (2):
 //! per-particle *partials* `f_i(alpha_i, ...)` plus a per-pair *combine*
-//! `phi_ij = f_i * g_j * h_ij`. The executor evaluates the physics the
-//! same way in both modes — so results are bit-identical — but models the
-//! hardware cost differently:
+//! `phi_ij = f_i * g_j * h_ij`. The executor walks the leaf interaction
+//! in fixed-width lane batches ("tiles") of `dev.half_warp()` particles —
+//! the same tile geometry the warp-split cost model charges — and
+//! evaluates every *unordered* pair exactly once, scattering the shared
+//! pair term into both accumulators through
+//! [`SplitKernel::interact_pair`]. This is the software mirror of the
+//! paper's warp-splitting transformation: the pre-fix executor evaluated
+//! each pair from both sides (2x the work the cost model credited).
+//!
+//! The cost model still distinguishes the two launch formulations:
 //!
 //! * **Naive** (gather) mode: one lane per i-particle; every lane loads
 //!   each j-state from global memory and recomputes the j-partial, holding
@@ -15,6 +22,13 @@
 //!   computed once per lane and exchanged via register shuffles; both
 //!   sides accumulate in one launch and flush with one leaf-level atomic
 //!   per lane.
+//!
+//! Physics is identical in both modes *and* on every device: the tiled
+//! traversal visits each accumulator's partners in globally ascending
+//! index order for any tile width (see DESIGN.md, "Tiled symmetric
+//! execution"), so results are bit-for-bit reproducible across modes and
+//! modeled devices, and identical to the untiled reference executors kept
+//! below ([`execute_leaf_pair_reference`], [`execute_leaf_self_reference`]).
 
 use crate::counters::{KernelCounters, PairFlops};
 use crate::device::DeviceSpec;
@@ -49,13 +63,21 @@ pub trait SplitKernel: Sync {
 
     /// Cost of one partial evaluation.
     fn partial_flops(&self) -> PairFlops;
-    /// Cost of one pair combine.
+    /// Cost of evaluating one *unordered* pair on the symmetric path —
+    /// the shared geometry/kernel work plus **both** accumulator
+    /// scatters. The warp-split model charges this once per useful pair;
+    /// the naive gather model charges it per ordered side (a deliberate
+    /// overcount: the gather kernel really does redo the shared work).
     fn pair_flops(&self) -> PairFlops;
 
     /// Compute the shared partial for one particle.
     fn partial(&self, s: &Self::State) -> Self::Partial;
 
     /// Accumulate the contribution of `j` onto `i`'s accumulator.
+    ///
+    /// This one-sided form is the reference implementation (and the
+    /// hook asymmetric kernels implement); the executor calls
+    /// [`SplitKernel::interact_pair`] instead.
     fn interact(
         &self,
         si: &Self::State,
@@ -64,6 +86,30 @@ pub trait SplitKernel: Sync {
         pj: &Self::Partial,
         out: &mut Self::Accum,
     );
+
+    /// Evaluate one unordered pair and scatter into *both* accumulators.
+    ///
+    /// The default forwards to two one-sided [`SplitKernel::interact`]
+    /// calls (i-side first), so asymmetric or unported kernels keep their
+    /// exact semantics. Symmetric kernels override this to compute the
+    /// shared pair term (separation, kernel values, table lookups) once.
+    /// Overrides must preserve the contract that each side's scatter is
+    /// value-identical to the corresponding one-sided call — the
+    /// tiled-vs-reference tests in this crate and in `hacc-grav` /
+    /// `hacc-sph` pin that, bitwise, on generic inputs.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &Self::State,
+        pi: &Self::Partial,
+        sj: &Self::State,
+        pj: &Self::Partial,
+        out_i: &mut Self::Accum,
+        out_j: &mut Self::Accum,
+    ) {
+        self.interact(si, pi, sj, pj, out_i);
+        self.interact(sj, pj, si, pi, out_j);
+    }
 }
 
 /// Scratch registers every kernel needs (loop counters, addresses...).
@@ -82,8 +128,11 @@ pub fn register_usage<K: SplitKernel>(k: &K, mode: ExecMode) -> u64 {
 }
 
 /// Execute the interactions between two *distinct* leaves, updating both
-/// sides (the symmetric kernels of the paper). Physics is mode-independent;
-/// counters model the chosen formulation on `dev`.
+/// sides. Each unordered `(i, j)` cross pair is evaluated exactly once,
+/// in half-warp-wide tile batches, and scattered into both accumulators;
+/// `counters.pairs` therefore equals the number of pair-term evaluations
+/// performed. Physics is mode- and device-independent; counters model the
+/// chosen formulation on `dev`.
 pub fn execute_leaf_pair<K: SplitKernel>(
     kernel: &K,
     dev: &DeviceSpec,
@@ -99,7 +148,126 @@ pub fn execute_leaf_pair<K: SplitKernel>(
     if states_i.is_empty() || states_j.is_empty() {
         return;
     }
-    // --- physics (identical in both modes) ---
+    // --- physics: symmetric tiled traversal ---
+    // Leaves arrive as contiguous slices (the pipelines gather them from
+    // the stores' SoA columns in chaining-mesh slot order); the tile loop
+    // walks them in `half_warp`-wide lane batches so the evaluation
+    // structure matches the cost model's tile geometry. Tiles and lanes
+    // advance in ascending order, which keeps every accumulator's partner
+    // sequence identical to the untiled reference for any tile width.
+    let partials_i: Vec<K::Partial> = states_i.iter().map(|s| kernel.partial(s)).collect();
+    let partials_j: Vec<K::Partial> = states_j.iter().map(|s| kernel.partial(s)).collect();
+    let (ni, nj) = (states_i.len(), states_j.len());
+    let hw = (dev.half_warp() as usize).max(1);
+    let pairs_before = counters.pairs;
+    let mut evals: u64 = 0;
+    for ti in (0..ni).step_by(hw) {
+        let ie = (ti + hw).min(ni);
+        for tj in (0..nj).step_by(hw) {
+            let je = (tj + hw).min(nj);
+            let (sj_tile, pj_tile) = (&states_j[tj..je], &partials_j[tj..je]);
+            for i in ti..ie {
+                let (si, pi) = (&states_i[i], &partials_i[i]);
+                let out_i = &mut accum_i[i];
+                // Zipped subslices keep the inner loop free of per-lane
+                // bounds checks (the tile is the GPU's register window).
+                let aj_tile = &mut accum_j[tj..je];
+                for ((sj, pj), out_j) in sj_tile.iter().zip(pj_tile).zip(aj_tile) {
+                    kernel.interact_pair(si, pi, sj, pj, out_i, out_j);
+                    if cfg!(debug_assertions) {
+                        evals += 1;
+                    }
+                }
+            }
+        }
+    }
+    // --- cost model ---
+    count_pair(kernel, dev, mode, ni, nj, false, counters);
+    debug_assert_eq!(
+        counters.pairs - pairs_before,
+        evals,
+        "cost model must credit exactly the pair evaluations performed"
+    );
+}
+
+/// Execute the self-interactions of a single leaf. Each unordered pair
+/// `i < j` is evaluated exactly once (the strict upper triangle, walked
+/// in half-warp tiles with triangular diagonal tiles) and scattered into
+/// both accumulators, so `counters.pairs == n(n-1)/2` equals the
+/// evaluations performed.
+pub fn execute_leaf_self<K: SplitKernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    mode: ExecMode,
+    states: &[K::State],
+    accum: &mut [K::Accum],
+    counters: &mut KernelCounters,
+) {
+    assert_eq!(states.len(), accum.len());
+    let n = states.len();
+    if n < 2 {
+        return;
+    }
+    let partials: Vec<K::Partial> = states.iter().map(|s| kernel.partial(s)).collect();
+    let hw = (dev.half_warp() as usize).max(1);
+    let pairs_before = counters.pairs;
+    let mut evals: u64 = 0;
+    for ti in (0..n).step_by(hw) {
+        let ie = (ti + hw).min(n);
+        // Mirrored tile pairs are skipped; the diagonal tile is triangular.
+        for tj in (ti..n).step_by(hw) {
+            let je = (tj + hw).min(n);
+            for i in ti..ie {
+                let j0 = tj.max(i + 1);
+                if j0 >= je {
+                    continue;
+                }
+                // Split so `accum[i]` and `accum[j > i]` can be borrowed
+                // together (the GPU analogue holds both in registers).
+                let (left, right) = accum.split_at_mut(i + 1);
+                let out_i = &mut left[i];
+                let (si, pi) = (&states[i], &partials[i]);
+                let (sj_tile, pj_tile) = (&states[j0..je], &partials[j0..je]);
+                let aj_tile = &mut right[(j0 - i - 1)..(je - i - 1)];
+                for ((sj, pj), out_j) in sj_tile.iter().zip(pj_tile).zip(aj_tile) {
+                    kernel.interact_pair(si, pi, sj, pj, out_i, out_j);
+                    if cfg!(debug_assertions) {
+                        evals += 1;
+                    }
+                }
+            }
+        }
+    }
+    count_pair(kernel, dev, mode, n, n, true, counters);
+    debug_assert_eq!(
+        counters.pairs - pairs_before,
+        evals,
+        "cost model must credit exactly the pair evaluations performed"
+    );
+}
+
+/// The pre-fix cross-leaf executor, kept as the reference implementation:
+/// every ordered `(i, j)` is evaluated from both sides through the
+/// one-sided [`SplitKernel::interact`], doing 2x the pair-term work the
+/// cost model credits. Used by the tiled-vs-reference tests and the
+/// short-range micro-benchmarks; results are bit-identical to
+/// [`execute_leaf_pair`] for kernels honoring the `interact_pair`
+/// contract.
+pub fn execute_leaf_pair_reference<K: SplitKernel>(
+    kernel: &K,
+    dev: &DeviceSpec,
+    mode: ExecMode,
+    states_i: &[K::State],
+    states_j: &[K::State],
+    accum_i: &mut [K::Accum],
+    accum_j: &mut [K::Accum],
+    counters: &mut KernelCounters,
+) {
+    assert_eq!(states_i.len(), accum_i.len());
+    assert_eq!(states_j.len(), accum_j.len());
+    if states_i.is_empty() || states_j.is_empty() {
+        return;
+    }
     let partials_i: Vec<K::Partial> = states_i.iter().map(|s| kernel.partial(s)).collect();
     let partials_j: Vec<K::Partial> = states_j.iter().map(|s| kernel.partial(s)).collect();
     for (i, (si, pi)) in states_i.iter().zip(&partials_i).enumerate() {
@@ -108,13 +276,13 @@ pub fn execute_leaf_pair<K: SplitKernel>(
             kernel.interact(sj, pj, si, pi, &mut accum_j[j]);
         }
     }
-    // --- cost model ---
     count_pair(kernel, dev, mode, states_i.len(), states_j.len(), false, counters);
 }
 
-/// Execute the self-interactions of a single leaf (all ordered pairs with
-/// `i != j`).
-pub fn execute_leaf_self<K: SplitKernel>(
+/// The pre-fix self-leaf executor (all ordered `i != j` pairs through the
+/// one-sided hook), kept as the reference implementation alongside
+/// [`execute_leaf_pair_reference`].
+pub fn execute_leaf_self_reference<K: SplitKernel>(
     kernel: &K,
     dev: &DeviceSpec,
     mode: ExecMode,
@@ -259,6 +427,7 @@ pub fn execute_with_relaunch<R>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A gravity-flavored test kernel: phi_i += m_j / (|r_i - r_j|^2 + eps).
     struct TestKernel;
@@ -310,6 +479,25 @@ mod tests {
             let r2 = dx * dx + dy * dy + dz * dz + 1e-3;
             *out += (*pj / r2) as f64;
         }
+        // Symmetric path: the squared separation is shared between the
+        // two scatters ((-x)*(-x) == x*x bitwise, so each side matches
+        // its one-sided reference call exactly).
+        fn interact_pair(
+            &self,
+            si: &State,
+            pi: &f32,
+            sj: &State,
+            pj: &f32,
+            out_i: &mut f64,
+            out_j: &mut f64,
+        ) {
+            let dx = si.pos[0] - sj.pos[0];
+            let dy = si.pos[1] - sj.pos[1];
+            let dz = si.pos[2] - sj.pos[2];
+            let r2 = dx * dx + dy * dy + dz * dz + 1e-3;
+            *out_i += (*pj / r2) as f64;
+            *out_j += (*pi / r2) as f64;
+        }
     }
 
     fn make_states(n: usize, offset: f32) -> Vec<State> {
@@ -338,6 +526,146 @@ mod tests {
         let (ai_s, aj_s, _) = run(ExecMode::WarpSplit, 100, 73);
         assert_eq!(ai_n, ai_s);
         assert_eq!(aj_n, aj_s);
+    }
+
+    #[test]
+    fn devices_produce_identical_physics() {
+        // The tiled traversal preserves per-accumulator partner order for
+        // any tile width, so AMD (half-warp 32) and Nvidia (16) tilings
+        // must agree bitwise.
+        let run_dev = |dev: DeviceSpec| {
+            let si = make_states(100, 0.0);
+            let sj = make_states(73, 5.0);
+            let mut ai = vec![0.0; 100];
+            let mut aj = vec![0.0; 73];
+            let mut c = KernelCounters::default();
+            execute_leaf_pair(&TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c);
+            let mut a_self = vec![0.0; 100];
+            execute_leaf_self(&TestKernel, &dev, ExecMode::WarpSplit, &si, &mut a_self, &mut c);
+            (ai, aj, a_self)
+        };
+        let amd = run_dev(DeviceSpec::mi250x_gcd());
+        let nvd = run_dev(DeviceSpec::h100());
+        assert_eq!(amd, nvd);
+    }
+
+    #[test]
+    fn tiled_matches_reference_at_tile_boundaries() {
+        // Ragged tails around the lane width: 1, hw-1, hw, hw+1, 2hw+3.
+        for dev in [DeviceSpec::mi250x_gcd(), DeviceSpec::h100()] {
+            let hw = dev.half_warp() as usize;
+            let sizes = [1, hw - 1, hw, hw + 1, 2 * hw + 3];
+            for &ni in &sizes {
+                for &nj in &sizes {
+                    let si = make_states(ni, 0.0);
+                    let sj = make_states(nj, 5.0);
+                    let mut ai = vec![0.0; ni];
+                    let mut aj = vec![0.0; nj];
+                    let mut ai_ref = vec![0.0; ni];
+                    let mut aj_ref = vec![0.0; nj];
+                    let mut c = KernelCounters::default();
+                    let mut c_ref = KernelCounters::default();
+                    execute_leaf_pair(
+                        &TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c,
+                    );
+                    execute_leaf_pair_reference(
+                        &TestKernel, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai_ref, &mut aj_ref,
+                        &mut c_ref,
+                    );
+                    assert_eq!(ai, ai_ref, "cross i-side ni={ni} nj={nj}");
+                    assert_eq!(aj, aj_ref, "cross j-side ni={ni} nj={nj}");
+                    assert_eq!(c.pairs, c_ref.pairs);
+                }
+                let s = make_states(ni, 0.0);
+                let mut a = vec![0.0; ni];
+                let mut a_ref = vec![0.0; ni];
+                let mut c = KernelCounters::default();
+                let mut c_ref = KernelCounters::default();
+                execute_leaf_self(&TestKernel, &dev, ExecMode::WarpSplit, &s, &mut a, &mut c);
+                execute_leaf_self_reference(
+                    &TestKernel, &dev, ExecMode::WarpSplit, &s, &mut a_ref, &mut c_ref,
+                );
+                assert_eq!(a, a_ref, "self n={ni}");
+                assert_eq!(c.pairs, c_ref.pairs);
+            }
+        }
+    }
+
+    /// Kernel wrapper that counts actual pair-term evaluations, pinning
+    /// the `counters.pairs == evaluations` contract (Issue 6 satellite).
+    struct CountingKernel<'a> {
+        evals: &'a AtomicU64,
+    }
+
+    impl SplitKernel for CountingKernel<'_> {
+        type State = State;
+        type Partial = f32;
+        type Accum = f64;
+
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn state_words(&self) -> u64 {
+            4
+        }
+        fn partial_words(&self) -> u64 {
+            1
+        }
+        fn accum_words(&self) -> u64 {
+            1
+        }
+        fn partial_flops(&self) -> PairFlops {
+            PairFlops::default()
+        }
+        fn pair_flops(&self) -> PairFlops {
+            PairFlops::default()
+        }
+        fn partial(&self, s: &State) -> f32 {
+            s.mass
+        }
+        fn interact(&self, _: &State, _: &f32, _: &State, pj: &f32, out: &mut f64) {
+            *out += *pj as f64;
+        }
+        fn interact_pair(
+            &self,
+            si: &State,
+            pi: &f32,
+            sj: &State,
+            pj: &f32,
+            out_i: &mut f64,
+            out_j: &mut f64,
+        ) {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            self.interact(si, pi, sj, pj, out_i);
+            self.interact(sj, pj, si, pi, out_j);
+        }
+    }
+
+    #[test]
+    fn counted_pairs_equal_actual_evaluations() {
+        let evals = AtomicU64::new(0);
+        let k = CountingKernel { evals: &evals };
+        for dev in [DeviceSpec::mi250x_gcd(), DeviceSpec::h100()] {
+            for (ni, nj) in [(1, 1), (7, 50), (64, 64), (65, 33), (128, 1)] {
+                let si = make_states(ni, 0.0);
+                let sj = make_states(nj, 5.0);
+                let mut ai = vec![0.0; ni];
+                let mut aj = vec![0.0; nj];
+                let mut c = KernelCounters::default();
+                evals.store(0, Ordering::Relaxed);
+                execute_leaf_pair(&k, &dev, ExecMode::WarpSplit, &si, &sj, &mut ai, &mut aj, &mut c);
+                assert_eq!(c.pairs, evals.load(Ordering::Relaxed), "cross {ni}x{nj}");
+            }
+            for n in [2, 31, 32, 33, 50, 67, 128] {
+                let s = make_states(n, 0.0);
+                let mut a = vec![0.0; n];
+                let mut c = KernelCounters::default();
+                evals.store(0, Ordering::Relaxed);
+                execute_leaf_self(&k, &dev, ExecMode::WarpSplit, &s, &mut a, &mut c);
+                assert_eq!(c.pairs, (n * (n - 1) / 2) as u64);
+                assert_eq!(c.pairs, evals.load(Ordering::Relaxed), "self {n}");
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub mod profile;
 
 pub use counters::{KernelCounters, PairFlops};
 pub use device::{DeviceSpec, Vendor};
-pub use exec::{execute_leaf_pair, execute_leaf_self, execute_with_relaunch, ExecMode, SplitKernel};
+pub use exec::{
+    execute_leaf_pair, execute_leaf_pair_reference, execute_leaf_self,
+    execute_leaf_self_reference, execute_with_relaunch, ExecMode, SplitKernel,
+};
 pub use model::ExecutionModel;
 pub use profile::{ProfileRow, ProfileTable};

@@ -47,13 +47,21 @@ impl SplitKernel for GravityKernel {
         PairFlops::default()
     }
     fn pair_flops(&self) -> PairFlops {
-        // dr (3 add), r2 (3 fma), table lookup (1 mul 1 add 1 fma),
-        // scale+accumulate (1 mul + 3 fma).
+        // One unordered pair on the symmetric path, audited against
+        // `interact_pair`:
+        //   dr (3 add); r2 (1 mul + 2 fma);
+        //   eval_r2: x = r2*inv_dr2 (1 mul), f = x - i (1 add),
+        //     lerp b-a then a+(b-a)f (1 add + 1 fma),
+        //     r2_soft = r2 + eps2 (1 add),
+        //     norm = r2_soft*sqrt(r2_soft) (1 mul + 1 sqrt),
+        //     fraction/norm (1 div);
+        //   scatter both sides: s_i, s_j (2 mul) + 6 fma.
+        // sqrt and div each count as one transcendental.
         PairFlops {
-            adds: 4,
-            muls: 2,
-            fmas: 7,
-            trans: 0,
+            adds: 6,
+            muls: 5,
+            fmas: 9,
+            trans: 2,
         }
     }
     fn partial(&self, _s: &GravState) {}
@@ -70,6 +78,38 @@ impl SplitKernel for GravityKernel {
             out.acc[0] -= s * dx;
             out.acc[1] -= s * dy;
             out.acc[2] -= s * dz;
+        }
+    }
+
+    /// Symmetric path: separation, squared radius, and the table lookup
+    /// (the sqrt + divide that dominate the pair cost) are computed once
+    /// and scattered into both accumulators. Bitwise identical per side
+    /// to the one-sided `interact` calls: squares absorb the sign of the
+    /// reversed separation and `x -= s*d` ≡ `x += s*(-d)` exactly.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &GravState,
+        _: &(),
+        sj: &GravState,
+        _: &(),
+        out_i: &mut GravAccum,
+        out_j: &mut GravAccum,
+    ) {
+        let dx = si.pos[0] - sj.pos[0];
+        let dy = si.pos[1] - sj.pos[1];
+        let dz = si.pos[2] - sj.pos[2];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let g = self.table.eval_r2(r2);
+        if g != 0.0 {
+            let s_i = sj.mass * g;
+            let s_j = si.mass * g;
+            out_i.acc[0] -= s_i * dx;
+            out_i.acc[1] -= s_i * dy;
+            out_i.acc[2] -= s_i * dz;
+            out_j.acc[0] += s_j * dx;
+            out_j.acc[1] += s_j * dy;
+            out_j.acc[2] += s_j * dz;
         }
     }
 }
@@ -142,6 +182,53 @@ mod tests {
         k.interact(&a, &(), &b, &(), &mut acc);
         let newton = 1.0 / (r * r);
         assert!((acc.acc[0] / newton - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn symmetric_pair_matches_one_sided_bitwise() {
+        let k = kernel();
+        // Awkward separations, including near the table cutoff.
+        let cases = [
+            ([0.1, -0.4, 0.7], [1.0, 0.6, -0.3]),
+            ([0.0; 3], [1e-3, 0.0, 0.0]),
+            ([0.0; 3], [4.0, 3.0, 2.0]),
+            ([2.0, 2.0, 2.0], [2.0, 2.0, 6.9]),
+        ];
+        for (pa, pb) in cases {
+            let a = GravState { pos: pa, mass: 2.0 };
+            let b = GravState { pos: pb, mass: 5.0 };
+            let mut ref_a = GravAccum::default();
+            let mut ref_b = GravAccum::default();
+            k.interact(&a, &(), &b, &(), &mut ref_a);
+            k.interact(&b, &(), &a, &(), &mut ref_b);
+            let mut sym_a = GravAccum::default();
+            let mut sym_b = GravAccum::default();
+            k.interact_pair(&a, &(), &b, &(), &mut sym_a, &mut sym_b);
+            assert_eq!(sym_a.acc, ref_a.acc, "i-side {pa:?} {pb:?}");
+            assert_eq!(sym_b.acc, ref_b.acc, "j-side {pa:?} {pb:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_conserves_momentum() {
+        let k = kernel();
+        let a = GravState {
+            pos: [0.1, -0.4, 0.7],
+            mass: 2.0,
+        };
+        let b = GravState {
+            pos: [1.0, 0.6, -0.3],
+            mass: 5.0,
+        };
+        let mut fa = GravAccum::default();
+        let mut fb = GravAccum::default();
+        k.interact_pair(&a, &(), &b, &(), &mut fa, &mut fb);
+        for d in 0..3 {
+            assert!(
+                (a.mass * fa.acc[d] + b.mass * fb.acc[d]).abs() < 1e-12,
+                "third-law violation in {d} on the symmetric path"
+            );
+        }
     }
 
     #[test]

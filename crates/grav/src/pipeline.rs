@@ -7,19 +7,30 @@ use hacc_gpusim::{
 };
 use hacc_tree::ChainingMesh;
 
+/// Entries in the cached force-splitting table.
+const SPLIT_TABLE_SIZE: usize = 8192;
+
 /// Configuration of the short-range gravity solve.
+///
+/// Owns the tabulated [`ForceSplitTable`], built once in [`GravConfig::new`]
+/// and reused by every [`grav_step`] call — the solver used to rebuild the
+/// 8192-entry table (an erf/exp evaluation per entry) on every invocation.
 #[derive(Debug, Clone)]
 pub struct GravConfig {
     /// Newton's constant in the caller's unit system.
     pub g_newton: f64,
-    /// Gaussian split scale `r_s` (must match the PM filter).
+    /// Gaussian split scale `r_s` (must match the PM filter). Descriptive
+    /// after construction: call [`GravConfig::rebuild_table`] if changed.
     pub split_scale: f64,
-    /// Plummer softening length.
+    /// Plummer softening length. Descriptive after construction: call
+    /// [`GravConfig::rebuild_table`] if changed.
     pub softening: f64,
     /// Simulated device.
     pub device: DeviceSpec,
     /// Kernel formulation.
     pub mode: ExecMode,
+    /// Cached splitting/softening table.
+    table: ForceSplitTable,
 }
 
 impl GravConfig {
@@ -31,7 +42,18 @@ impl GravConfig {
             softening,
             device: DeviceSpec::mi250x_gcd(),
             mode: ExecMode::WarpSplit,
+            table: ForceSplitTable::new(split_scale, softening, SPLIT_TABLE_SIZE),
         }
+    }
+
+    /// The cached splitting table.
+    pub fn table(&self) -> &ForceSplitTable {
+        &self.table
+    }
+
+    /// Rebuild the cached table after mutating `split_scale`/`softening`.
+    pub fn rebuild_table(&mut self) {
+        self.table = ForceSplitTable::new(self.split_scale, self.softening, SPLIT_TABLE_SIZE);
     }
 }
 
@@ -64,15 +86,16 @@ pub fn grav_step(
             counters,
         };
     }
-    let table = ForceSplitTable::new(cfg.split_scale, cfg.softening, 8192);
-    let r_cut = table.r_cut();
+    let r_cut = cfg.table.r_cut();
     let widths = cm.widths();
     let nbins = cm.nbins();
     assert!(
         (0..3).all(|d| widths[d] + 1e-12 >= r_cut || nbins[d] <= 2),
         "chaining-mesh bins {widths:?} ({nbins:?} bins) narrower than gravity cutoff {r_cut}"
     );
-    let kernel = GravityKernel { table };
+    let kernel = GravityKernel {
+        table: cfg.table.clone(),
+    };
     let pairs = cm.interaction_pairs(r_cut, None);
 
     let states: Vec<GravState> = cm
@@ -191,6 +214,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiled_symmetric_matches_reference_executor_bitwise() {
+        use hacc_gpusim::{execute_leaf_pair_reference, execute_leaf_self_reference};
+        // The production grav_step (symmetric tiles, one evaluation per
+        // unordered pair) must reproduce the pre-fix double-evaluation
+        // executor bit for bit, with leaf sizes straddling tile widths.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 400;
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..12.0),
+                    rng.gen_range(0.0..12.0),
+                    rng.gen_range(0.0..12.0),
+                ]
+            })
+            .collect();
+        let mass: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let cfg = GravConfig::new(2.0, 0.8, 0.05);
+        let cm = mesh_for(&pos, 12.0, 6.0);
+        let r = grav_step(&pos, &mass, &cm, &cfg);
+
+        // Reference: the identical traversal through the pre-fix
+        // executors (both-sides one-sided interact calls).
+        let kernel = GravityKernel {
+            table: cfg.table().clone(),
+        };
+        let pairs = cm.interaction_pairs(cfg.table().r_cut(), None);
+        let states: Vec<GravState> = cm
+            .order
+            .iter()
+            .map(|&i| GravState {
+                pos: pos[i as usize],
+                mass: mass[i as usize],
+            })
+            .collect();
+        let mut counters = KernelCounters::default();
+        let mut accums = vec![GravAccum::default(); n];
+        for &(a, b) in &pairs {
+            let ra = cm.leaves[a as usize].range();
+            if a == b {
+                let (_, tail) = accums.split_at_mut(ra.start);
+                execute_leaf_self_reference(
+                    &kernel,
+                    &cfg.device,
+                    cfg.mode,
+                    &states[ra.clone()],
+                    &mut tail[..ra.len()],
+                    &mut counters,
+                );
+            } else {
+                let rb = cm.leaves[b as usize].range();
+                let (left, right) = accums.split_at_mut(rb.start);
+                execute_leaf_pair_reference(
+                    &kernel,
+                    &cfg.device,
+                    cfg.mode,
+                    &states[ra.clone()],
+                    &states[rb.clone()],
+                    &mut left[ra],
+                    &mut right[..rb.len()],
+                    &mut counters,
+                );
+            }
+        }
+        let mut accel_ref = vec![[0.0f64; 3]; n];
+        for (slot, &i) in cm.order.iter().enumerate() {
+            let a = &accums[slot].acc;
+            accel_ref[i as usize] = [
+                cfg.g_newton * a[0],
+                cfg.g_newton * a[1],
+                cfg.g_newton * a[2],
+            ];
+        }
+        assert_eq!(r.accel, accel_ref);
+        // Same cost-model pair count, half the actual evaluations.
+        assert_eq!(r.counters.pairs, counters.pairs);
     }
 
     #[test]

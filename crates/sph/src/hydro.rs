@@ -6,6 +6,17 @@
 //! Physics is evaluated in f64 here; the FLOP/word accounting follows the
 //! FP32 short-range convention of the paper (the counts are precision
 //! independent).
+//!
+//! Every kernel implements the symmetric [`SplitKernel::interact_pair`]
+//! hook: the shared pair term (separation, radius, kernel evaluations)
+//! is computed once per unordered pair and scattered into both
+//! accumulators, with each side's arithmetic kept literally identical to
+//! the one-sided `interact` reference — the `*_matches_one_sided` tests
+//! below pin that bitwise. `pair_flops` tables are audited against the
+//! `interact_pair` bodies, counting the general `h_i != h_j` case (the
+//! runtime additionally shares kernel evaluations when the smoothing
+//! lengths are bit-equal), with sqrt and divide each one transcendental
+//! and the interior branch (in-support, viscosity active) taken.
 
 use crate::crk::{corrected_grad_w, CrkCorrections, Moments};
 use crate::kernel::SphKernel;
@@ -51,11 +62,15 @@ impl<K: SphKernel> SplitKernel for DensityKernel<K> {
         PairFlops::default()
     }
     fn pair_flops(&self) -> PairFlops {
+        // Audited vs `interact_pair` (general h_i != h_j):
+        //   dr (3 add); r2 (1 mul + 2 fma); sqrt (1);
+        //   W x2 (each: q div 1, sigma 3 mul + 1 div, poly 5 mul 2 add,
+        //     scale 1 mul); scatter both sides (2 fma).
         PairFlops {
-            adds: 3,
-            muls: 4,
-            fmas: 7,
-            trans: 1,
+            adds: 7,
+            muls: 19,
+            fmas: 4,
+            trans: 5,
         }
     }
     fn partial(&self, _s: &GeomState) {}
@@ -66,6 +81,32 @@ impl<K: SphKernel> SplitKernel for DensityKernel<K> {
         let dz = si.pos[2] - sj.pos[2];
         let r = (dx * dx + dy * dy + dz * dz).sqrt();
         *out += sj.m_or_v * self.kernel.w(r, si.h);
+    }
+    /// Symmetric path: the radius is shared (squares absorb the reversed
+    /// separation's sign) and the kernel evaluation is reused when the
+    /// smoothing lengths are bit-equal.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &GeomState,
+        _: &(),
+        sj: &GeomState,
+        _: &(),
+        out_i: &mut f64,
+        out_j: &mut f64,
+    ) {
+        let dx = si.pos[0] - sj.pos[0];
+        let dy = si.pos[1] - sj.pos[1];
+        let dz = si.pos[2] - sj.pos[2];
+        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+        let wi = self.kernel.w(r, si.h);
+        let wj = if sj.h.to_bits() == si.h.to_bits() {
+            wi
+        } else {
+            self.kernel.w(r, sj.h)
+        };
+        *out_i += sj.m_or_v * wi;
+        *out_j += si.m_or_v * wj;
     }
 }
 
@@ -98,11 +139,16 @@ impl<K: SphKernel> SplitKernel for MomentsKernel<K> {
         PairFlops::default()
     }
     fn pair_flops(&self) -> PairFlops {
+        // Audited vs `interact_pair` (general h_i != h_j):
+        //   dr + reversed dr (6 add); r2 (1 mul + 2 fma); sqrt (1);
+        //   W x2 (2 add + 9 mul + 2 trans each);
+        //   accumulate x2 (each: vw 1 mul, m0 1 add, m1 3 fma,
+        //     m2 6 mul + 6 fma).
         PairFlops {
-            adds: 3,
-            muls: 5,
-            fmas: 17,
-            trans: 1,
+            adds: 12,
+            muls: 33,
+            fmas: 20,
+            trans: 5,
         }
     }
     fn partial(&self, _s: &GeomState) {}
@@ -117,6 +163,43 @@ impl<K: SphKernel> SplitKernel for MomentsKernel<K> {
         let w = self.kernel.w(r, si.h);
         if w > 0.0 {
             out.accumulate(sj.m_or_v, w, &dr);
+        }
+    }
+    /// Symmetric path: radius and (for bit-equal smoothing lengths) the
+    /// kernel value are shared; each side accumulates with its own
+    /// directly-subtracted separation, exactly as the one-sided calls do.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &GeomState,
+        _: &(),
+        sj: &GeomState,
+        _: &(),
+        out_i: &mut Moments,
+        out_j: &mut Moments,
+    ) {
+        let dr = [
+            si.pos[0] - sj.pos[0],
+            si.pos[1] - sj.pos[1],
+            si.pos[2] - sj.pos[2],
+        ];
+        let r = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).sqrt();
+        let wi = self.kernel.w(r, si.h);
+        let wj = if sj.h.to_bits() == si.h.to_bits() {
+            wi
+        } else {
+            self.kernel.w(r, sj.h)
+        };
+        if wi > 0.0 {
+            out_i.accumulate(sj.m_or_v, wi, &dr);
+        }
+        if wj > 0.0 {
+            let drj = [
+                sj.pos[0] - si.pos[0],
+                sj.pos[1] - si.pos[1],
+                sj.pos[2] - si.pos[2],
+            ];
+            out_j.accumulate(si.m_or_v, wj, &drj);
         }
     }
 }
@@ -189,11 +272,18 @@ impl<K: SphKernel> SplitKernel for VelGradKernel<K> {
         PairFlops::default()
     }
     fn pair_flops(&self) -> PairFlops {
+        // Audited vs `interact_pair` (general h_i != h_j, both in
+        // support):
+        //   dr + reversed dr (6 add); r2 (1 mul + 2 fma); sqrt (1);
+        //   dW x2 (1 add + 8 mul + 2 trans each);
+        //   per side: gradient (3 mul + 3 div), dv (3 add),
+        //     div accum (2 mul + 2 fma + 1 add),
+        //     curl accum (6 mul + 3 fma + 3 add).
         PairFlops {
-            adds: 9,
-            muls: 8,
-            fmas: 15,
-            trans: 1,
+            adds: 22,
+            muls: 39,
+            fmas: 12,
+            trans: 11,
         }
     }
     fn partial(&self, _s: &VelGradState) {}
@@ -226,6 +316,67 @@ impl<K: SphKernel> SplitKernel for VelGradKernel<K> {
         out.curl[0] += v * (dv[1] * g[2] - dv[2] * g[1]);
         out.curl[1] += v * (dv[2] * g[0] - dv[0] * g[2]);
         out.curl[2] += v * (dv[0] * g[1] - dv[1] * g[0]);
+    }
+    /// Symmetric path: radius and (for bit-equal smoothing lengths) the
+    /// kernel slope are shared; each side's gradient, velocity difference
+    /// and zero-slope guard replicate the one-sided call verbatim.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &VelGradState,
+        _: &(),
+        sj: &VelGradState,
+        _: &(),
+        out_i: &mut VelGradAccum,
+        out_j: &mut VelGradAccum,
+    ) {
+        let dr = [
+            si.pos[0] - sj.pos[0],
+            si.pos[1] - sj.pos[1],
+            si.pos[2] - sj.pos[2],
+        ];
+        let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+        let r = r2.sqrt();
+        if r == 0.0 {
+            return;
+        }
+        let dwi = self.kernel.dw_dr(r, si.h);
+        let dwj = if sj.h.to_bits() == si.h.to_bits() {
+            dwi
+        } else {
+            self.kernel.dw_dr(r, sj.h)
+        };
+        if dwi != 0.0 {
+            let g = [dwi * dr[0] / r, dwi * dr[1] / r, dwi * dr[2] / r];
+            let dv = [
+                sj.vel[0] - si.vel[0],
+                sj.vel[1] - si.vel[1],
+                sj.vel[2] - si.vel[2],
+            ];
+            let v = sj.vol;
+            out_i.div += v * (dv[0] * g[0] + dv[1] * g[1] + dv[2] * g[2]);
+            out_i.curl[0] += v * (dv[1] * g[2] - dv[2] * g[1]);
+            out_i.curl[1] += v * (dv[2] * g[0] - dv[0] * g[2]);
+            out_i.curl[2] += v * (dv[0] * g[1] - dv[1] * g[0]);
+        }
+        if dwj != 0.0 {
+            let drj = [
+                sj.pos[0] - si.pos[0],
+                sj.pos[1] - si.pos[1],
+                sj.pos[2] - si.pos[2],
+            ];
+            let g = [dwj * drj[0] / r, dwj * drj[1] / r, dwj * drj[2] / r];
+            let dv = [
+                si.vel[0] - sj.vel[0],
+                si.vel[1] - sj.vel[1],
+                si.vel[2] - sj.vel[2],
+            ];
+            let v = si.vol;
+            out_j.div += v * (dv[0] * g[0] + dv[1] * g[1] + dv[2] * g[2]);
+            out_j.curl[0] += v * (dv[1] * g[2] - dv[2] * g[1]);
+            out_j.curl[1] += v * (dv[2] * g[0] - dv[0] * g[2]);
+            out_j.curl[2] += v * (dv[0] * g[1] - dv[1] * g[0]);
+        }
     }
 }
 
@@ -313,7 +464,7 @@ impl<K: SphKernel> SplitKernel for ForceKernel<K> {
         "crk_force"
     }
     fn state_words(&self) -> u64 {
-        16 // pos3 vel3 h p rho cs vol A B3
+        16 // pos3 vel3 h p rho cs vol balsara A B3
     }
     fn partial_words(&self) -> u64 {
         13 // shuffle payload: everything but position
@@ -328,11 +479,21 @@ impl<K: SphKernel> SplitKernel for ForceKernel<K> {
         }
     }
     fn pair_flops(&self) -> PairFlops {
+        // Audited vs `interact_pair` (general h_i != h_j, in support,
+        // viscosity branch taken, fused cubic-spline W/dW):
+        //   dr (3 add); r2 (1 mul + 2 fma); sqrt (1); support (1 mul);
+        //   w_dw x2 (3 add + 14 mul + 3 trans each);
+        //   corrected_grad_w x2 (12 mul + 6 fma + 1 div each);
+        //   G (3 add + 3 mul); dv (3 add); v.r (1 mul + 2 fma);
+        //   pair means (3 add + 3 mul);
+        //   viscosity (2 add + 8 mul + 1 fma + 1 div);
+        //   X (2 add + 2 mul); momentum scatter x2 (6 fma);
+        //   energy (2 add + 3 mul + 2 fma); vsig (1 add + 1 fma + 1 div).
         PairFlops {
-            adds: 24,
-            muls: 32,
-            fmas: 38,
-            trans: 3,
+            adds: 25,
+            muls: 74,
+            fmas: 26,
+            trans: 11,
         }
     }
     fn partial(&self, _s: &ForceState) {}
@@ -396,6 +557,101 @@ impl<K: SphKernel> SplitKernel for ForceKernel<K> {
         let vsig = si.cs + sj.cs - 3.0 * w_rel;
         if vsig > out.vsig {
             out.vsig = vsig;
+        }
+    }
+
+    /// Symmetric path: the entire pair term — radius, both kernel
+    /// evaluations (fused `w_dw`, shared outright when the smoothing
+    /// lengths are bit-equal), both corrected gradients, the
+    /// antisymmetrized `G_ij`, viscosity, pair pressure `X`, energy term
+    /// and signal velocity — is computed once and scattered into both
+    /// accumulators. Per-side values match the one-sided calls exactly:
+    /// `G_ji = -G_ij` holds bitwise (`0.5*(b-a) == -(0.5*(a-b))` away
+    /// from exact zeros), squares/products absorb separation signs, and
+    /// the commutative pair means are unchanged under `i <-> j`.
+    #[inline]
+    fn interact_pair(
+        &self,
+        si: &ForceState,
+        _: &(),
+        sj: &ForceState,
+        _: &(),
+        out_i: &mut ForceAccum,
+        out_j: &mut ForceAccum,
+    ) {
+        let dr = [
+            si.pos[0] - sj.pos[0],
+            si.pos[1] - sj.pos[1],
+            si.pos[2] - sj.pos[2],
+        ];
+        let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+        let cut = self.kernel.support() * si.h.max(sj.h);
+        // Conservative squared-radius pre-filter: with a margin well above
+        // the rounding error of `cut*cut`, `r2` past it guarantees
+        // `sqrt(r2) >= cut` (sqrt is correctly rounded and monotone), so
+        // clearly-out-of-support pairs skip the sqrt entirely. Pairs in
+        // the boundary band fall through to the exact one-sided check,
+        // keeping the symmetric path bitwise identical to `interact`.
+        if r2 >= cut * cut * (1.0 + 1e-12) {
+            return;
+        }
+        let r = r2.sqrt();
+        if r >= cut || r == 0.0 {
+            return;
+        }
+        let (wi, dwi) = self.kernel.w_dw(r, si.h);
+        let (wj, dwj) = if sj.h.to_bits() == si.h.to_bits() {
+            (wi, dwi)
+        } else {
+            self.kernel.w_dw(r, sj.h)
+        };
+
+        let gi = corrected_grad_w(&si.corr, wi, dwi, &dr, r);
+        let drj = [-dr[0], -dr[1], -dr[2]];
+        let gj = corrected_grad_w(&sj.corr, wj, dwj, &drj, r);
+        let g = [
+            0.5 * (gi[0] - gj[0]),
+            0.5 * (gi[1] - gj[1]),
+            0.5 * (gi[2] - gj[2]),
+        ];
+
+        let dv = [
+            si.vel[0] - sj.vel[0],
+            si.vel[1] - sj.vel[1],
+            si.vel[2] - sj.vel[2],
+        ];
+        let vdotr = dv[0] * dr[0] + dv[1] * dr[1] + dv[2] * dr[2];
+        let hbar = 0.5 * (si.h + sj.h);
+        let rho_bar = 0.5 * (si.rho + sj.rho);
+        let cbar = 0.5 * (si.cs + sj.cs);
+        let q = if vdotr < 0.0 {
+            let mu = hbar * vdotr / (r2 + self.opts.eps_visc * hbar * hbar);
+            let limiter = 0.5 * (si.balsara + sj.balsara);
+            (-self.opts.alpha_visc * cbar * mu + self.opts.beta_visc * mu * mu)
+                * rho_bar
+                * limiter
+        } else {
+            0.0
+        };
+
+        let x = si.vol * sj.vol * (si.p + sj.p + q);
+        out_i.mom[0] -= x * g[0];
+        out_i.mom[1] -= x * g[1];
+        out_i.mom[2] -= x * g[2];
+        out_j.mom[0] += x * g[0];
+        out_j.mom[1] += x * g[1];
+        out_j.mom[2] += x * g[2];
+        let e = 0.5 * x * (dv[0] * g[0] + dv[1] * g[1] + dv[2] * g[2]);
+        out_i.eng += e;
+        out_j.eng += e;
+
+        let w_rel = (vdotr / r).min(0.0);
+        let vsig = si.cs + sj.cs - 3.0 * w_rel;
+        if vsig > out_i.vsig {
+            out_i.vsig = vsig;
+        }
+        if vsig > out_j.vsig {
+            out_j.vsig = vsig;
         }
     }
 }
@@ -525,6 +781,120 @@ mod tests {
         k.interact(&a, &(), &b, &(), &mut fa);
         // vsig = c_i + c_j - 3 w = 1 + 1 + 3*4 = 14.
         assert!((fa.vsig - 14.0).abs() < 1e-12, "vsig = {}", fa.vsig);
+    }
+
+    use hacc_rt::rand::{self, Rng, SeedableRng};
+
+    fn rand_force_states(n: usize, vary_h: bool) -> Vec<ForceState> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        (0..n)
+            .map(|_| ForceState {
+                pos: [
+                    rng.gen_range(-1.2..1.2),
+                    rng.gen_range(-1.2..1.2),
+                    rng.gen_range(-1.2..1.2),
+                ],
+                vel: [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ],
+                h: if vary_h { rng.gen_range(0.8..1.4) } else { 1.0 },
+                p: rng.gen_range(0.5..4.0),
+                rho: rng.gen_range(0.5..2.0),
+                cs: rng.gen_range(0.5..2.0),
+                vol: rng.gen_range(0.5..1.5),
+                balsara: rng.gen_range(0.0..1.0),
+                corr: CrkCorrections {
+                    a: rng.gen_range(0.9..1.1),
+                    b: [
+                        rng.gen_range(-0.1..0.1),
+                        rng.gen_range(-0.1..0.1),
+                        rng.gen_range(-0.1..0.1),
+                    ],
+                },
+            })
+            .collect()
+    }
+
+    /// The executor contract: each side of `interact_pair` must be
+    /// bitwise identical to the corresponding one-sided `interact` call —
+    /// for every CRKSPH kernel, with both shared (equal-h) and general
+    /// (unequal-h) smoothing lengths.
+    #[test]
+    fn symmetric_pair_matches_one_sided_bitwise() {
+        for vary_h in [false, true] {
+            let fs = rand_force_states(24, vary_h);
+            let fkn = fk();
+            let dk = DensityKernel { kernel: CubicSpline };
+            let mk = MomentsKernel { kernel: CubicSpline };
+            let vk = VelGradKernel { kernel: CubicSpline };
+            for a in 0..fs.len() {
+                for b in (a + 1)..fs.len() {
+                    let (si, sj) = (&fs[a], &fs[b]);
+                    // Force.
+                    let (mut ri, mut rj) = (ForceAccum::default(), ForceAccum::default());
+                    fkn.interact(si, &(), sj, &(), &mut ri);
+                    fkn.interact(sj, &(), si, &(), &mut rj);
+                    let (mut pi, mut pj) = (ForceAccum::default(), ForceAccum::default());
+                    fkn.interact_pair(si, &(), sj, &(), &mut pi, &mut pj);
+                    assert_eq!(pi.mom, ri.mom, "force i mom [{a},{b}] vary_h={vary_h}");
+                    assert_eq!(pj.mom, rj.mom, "force j mom [{a},{b}] vary_h={vary_h}");
+                    assert_eq!(pi.eng, ri.eng, "force i eng [{a},{b}] vary_h={vary_h}");
+                    assert_eq!(pj.eng, rj.eng, "force j eng [{a},{b}] vary_h={vary_h}");
+                    assert_eq!(pi.vsig, ri.vsig, "force i vsig [{a},{b}]");
+                    assert_eq!(pj.vsig, rj.vsig, "force j vsig [{a},{b}]");
+                    // Density.
+                    let gi = GeomState { pos: si.pos, h: si.h, m_or_v: si.vol };
+                    let gj = GeomState { pos: sj.pos, h: sj.h, m_or_v: sj.vol };
+                    let (mut di, mut dj) = (0.0, 0.0);
+                    dk.interact(&gi, &(), &gj, &(), &mut di);
+                    dk.interact(&gj, &(), &gi, &(), &mut dj);
+                    let (mut qi, mut qj) = (0.0, 0.0);
+                    dk.interact_pair(&gi, &(), &gj, &(), &mut qi, &mut qj);
+                    assert_eq!(qi, di, "density i [{a},{b}]");
+                    assert_eq!(qj, dj, "density j [{a},{b}]");
+                    // Moments.
+                    let (mut mi, mut mj) = (Moments::default(), Moments::default());
+                    mk.interact(&gi, &(), &gj, &(), &mut mi);
+                    mk.interact(&gj, &(), &gi, &(), &mut mj);
+                    let (mut ni, mut nj) = (Moments::default(), Moments::default());
+                    mk.interact_pair(&gi, &(), &gj, &(), &mut ni, &mut nj);
+                    assert_eq!(ni, mi, "moments i [{a},{b}]");
+                    assert_eq!(nj, mj, "moments j [{a},{b}]");
+                    // Velocity gradients.
+                    let vi = VelGradState { pos: si.pos, vel: si.vel, h: si.h, vol: si.vol };
+                    let vj = VelGradState { pos: sj.pos, vel: sj.vel, h: sj.h, vol: sj.vol };
+                    let (mut wi, mut wj) = (VelGradAccum::default(), VelGradAccum::default());
+                    vk.interact(&vi, &(), &vj, &(), &mut wi);
+                    vk.interact(&vj, &(), &vi, &(), &mut wj);
+                    let (mut xi, mut xj) = (VelGradAccum::default(), VelGradAccum::default());
+                    vk.interact_pair(&vi, &(), &vj, &(), &mut xi, &mut xj);
+                    assert_eq!(xi.div, wi.div, "velgrad i div [{a},{b}]");
+                    assert_eq!(xj.div, wj.div, "velgrad j div [{a},{b}]");
+                    assert_eq!(xi.curl, wi.curl, "velgrad i curl [{a},{b}]");
+                    assert_eq!(xj.curl, wj.curl, "velgrad j curl [{a},{b}]");
+                }
+            }
+        }
+    }
+
+    /// Newton's third law is exact by construction on the symmetric path:
+    /// both momentum scatters come from the same `X * G_ij` product.
+    #[test]
+    fn symmetric_pair_momentum_antisymmetric_bitwise() {
+        let k = fk();
+        for (sa, sb) in [
+            (state([0.0; 3], [0.3, -0.1, 0.2], 2.0), state([0.8, 0.3, -0.2], [-0.2, 0.4, 0.0], 5.0)),
+            (state([0.0; 3], [1.0, 0.0, 0.0], 0.0), state([1.0, 0.0, 0.0], [-1.0, 0.0, 0.0], 0.0)),
+        ] {
+            let (mut fa, mut fb) = (ForceAccum::default(), ForceAccum::default());
+            k.interact_pair(&sa, &(), &sb, &(), &mut fa, &mut fb);
+            for d in 0..3 {
+                assert_eq!(fa.mom[d], -fb.mom[d], "component {d}");
+            }
+            assert_eq!(fa.eng, fb.eng, "compatible energy split is shared");
+        }
     }
 
     #[test]

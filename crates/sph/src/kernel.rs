@@ -11,6 +11,14 @@ pub trait SphKernel: Sync + Copy {
     fn support(&self) -> f64 {
         2.0
     }
+    /// Fused `(W, dW/dr)` evaluation. The default forwards to the two
+    /// single-value methods; kernel implementations override it to share
+    /// `q = r/h`, the support branch, and normalization subexpressions.
+    /// Overrides must return exactly the values the single-value methods
+    /// return (bitwise) — the symmetric-tile force kernel relies on it.
+    fn w_dw(&self, r: f64, h: f64) -> (f64, f64) {
+        (self.w(r, h), self.dw_dr(r, h))
+    }
 }
 
 /// The classic M4 cubic spline (Monaghan & Lattanzio 1985), normalization
@@ -42,6 +50,28 @@ impl SphKernel for CubicSpline {
             sigma * (-0.75 * t * t)
         } else {
             0.0
+        }
+    }
+
+    // Shares q, the branch, and the h^3 normalization denominator.
+    // `1/(pi*h*h*h*h) == 1/((pi*h*h*h)*h)` exactly (left-associative
+    // products), so both components stay bitwise identical to the
+    // single-value methods.
+    fn w_dw(&self, r: f64, h: f64) -> (f64, f64) {
+        let q = r / h;
+        let d3 = std::f64::consts::PI * h * h * h;
+        let sigma = 1.0 / d3;
+        let sigma4 = 1.0 / (d3 * h);
+        if q < 1.0 {
+            (
+                sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q),
+                sigma4 * (-3.0 * q + 2.25 * q * q),
+            )
+        } else if q < 2.0 {
+            let t = 2.0 - q;
+            (sigma * 0.25 * t * t * t, sigma4 * (-0.75 * t * t))
+        } else {
+            (0.0, 0.0)
         }
     }
 }
@@ -81,6 +111,29 @@ impl SphKernel for WendlandC4 {
             * (-6.0 * (1.0 + 6.0 * q + 35.0 / 3.0 * q * q)
                 + omq * (6.0 + 70.0 / 3.0 * q));
         sigma * dpoly / s
+    }
+
+    // Shares q and the (1-q) powers; each component keeps its original
+    // normalization expression verbatim so the results stay bitwise
+    // identical to the single-value methods ((2h).powi(3) and s*s*s
+    // associate differently and must not be cross-substituted).
+    fn w_dw(&self, r: f64, h: f64) -> (f64, f64) {
+        let s = 2.0 * h;
+        let q = r / s;
+        if q >= 1.0 {
+            return (0.0, 0.0);
+        }
+        let sigma_w = 495.0 / (32.0 * std::f64::consts::PI * (2.0 * h).powi(3));
+        let sigma_d = 495.0 / (32.0 * std::f64::consts::PI * s * s * s);
+        let omq = 1.0 - q;
+        let omq2 = omq * omq;
+        let omq6 = omq2 * omq2 * omq2;
+        let omq5 = omq2 * omq2 * omq;
+        let w = sigma_w * omq6 * (1.0 + 6.0 * q + 35.0 / 3.0 * q * q);
+        let dpoly = omq5
+            * (-6.0 * (1.0 + 6.0 * q + 35.0 / 3.0 * q * q)
+                + omq * (6.0 + 70.0 / 3.0 * q));
+        (w, sigma_d * dpoly / s)
     }
 }
 
@@ -160,6 +213,21 @@ mod tests {
                     (dw - fd).abs() < 1e-4,
                     "kernel {kchoice} grad mismatch at r={r}: {dw} vs {fd}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_w_dw_is_bitwise_identical() {
+        for h in [0.37, 0.5, 1.0, 1.3, 2.0] {
+            for i in 0..220 {
+                let r = i as f64 * 0.01 * h; // sweeps both branches + cutoff
+                let (wc, dc) = CubicSpline.w_dw(r, h);
+                assert_eq!(wc, CubicSpline.w(r, h), "cubic w at r={r} h={h}");
+                assert_eq!(dc, CubicSpline.dw_dr(r, h), "cubic dw at r={r} h={h}");
+                let (ww, dw) = WendlandC4.w_dw(r, h);
+                assert_eq!(ww, WendlandC4.w(r, h), "wendland w at r={r} h={h}");
+                assert_eq!(dw, WendlandC4.dw_dr(r, h), "wendland dw at r={r} h={h}");
             }
         }
     }

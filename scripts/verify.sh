@@ -167,4 +167,34 @@ for ranks in 1 2 4 8; do
 done
 echo "ok: armed suite clean, canary caught, 1/2/4/8-rank reports byte-stable"
 
+echo "== tier 5: perf ratchet — short-range symmetric kernels =="
+# The tiled symmetric executors must hold their blessed throughput: any
+# higher-is-better metric (*_per_s, *_speedup) in BENCH_kernels.json that
+# regresses more than 15% fails the gate with a delta table, and the
+# kernels_micro run additionally asserts the headline crk_force symmetric
+# speedup stays >= 2x. Re-bless deliberate performance changes with
+# scripts/bench_update.sh. HACC_RT_BENCH_FAST only shortens the
+# criterion-style groups; the ratcheted symmetric group always measures
+# at its full fixed budget.
+HACC_RT_BENCH_FAST=1 \
+HACC_BENCH_BASELINE="$PWD/BENCH_kernels.json" \
+HACC_BENCH_JSON="$tdir/bench_fresh.json" \
+    cargo bench -q --offline -p hacc-bench --bench kernels_micro \
+    > "$tdir/ratchet-micro.log" 2>&1 || {
+    echo "error: kernels_micro perf ratchet failed:" >&2
+    tail -n 25 "$tdir/ratchet-micro.log" >&2
+    exit 1
+}
+grep -E "short_range_symmetric|ratchet" "$tdir/ratchet-micro.log" | sed 's/^/  /'
+HACC_BENCH_BASELINE="$PWD/BENCH_kernels.json" \
+HACC_BENCH_JSON="$tdir/bench_fresh.json" \
+    cargo bench -q --offline -p hacc-bench --bench headline_hydro_vs_gravity \
+    > "$tdir/ratchet-headline.log" 2>&1 || {
+    echo "error: headline perf ratchet failed:" >&2
+    tail -n 25 "$tdir/ratchet-headline.log" >&2
+    exit 1
+}
+grep -E "^metric" "$tdir/ratchet-headline.log" | sed 's/^/  /'
+echo "ok: perf ratchet green against BENCH_kernels.json"
+
 echo "verify.sh: all checks passed"
